@@ -1,0 +1,229 @@
+package repro
+
+// One benchmark per paper table/figure (scaled to benchmark-friendly
+// sizes; cmd/nuebench regenerates the full-size tables) plus the ablation
+// benches for the design choices called out in DESIGN.md §7.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+	"repro/internal/routing/dfsssp"
+	"repro/internal/routing/dor"
+	"repro/internal/routing/lash"
+	"repro/internal/routing/updn"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// fig1Net returns the Fig. 1 network: 4x4x3 torus, 4 terminals/switch,
+// one failed switch.
+func fig1Net() *Topology {
+	tp := topology.Torus3D(4, 4, 3, 4, 1)
+	return topology.FailSwitch(tp, tp.Torus.SwitchAt[1][2][0])
+}
+
+func routeOrSkip(b *testing.B, eng Engine, tp *Topology, vcs int) *RoutingResult {
+	b.Helper()
+	res, err := eng.Route(tp.Net, tp.Net.Terminals(), vcs)
+	if err != nil {
+		b.Skipf("%s inapplicable: %v", eng.Name(), err)
+	}
+	return res
+}
+
+// --- Fig. 1: routing the faulty torus under a 4 VC budget ---
+
+func BenchmarkFig1RouteNue(b *testing.B) {
+	tp := fig1Net()
+	for i := 0; i < b.N; i++ {
+		if _, err := RouteNue(tp.Net, tp.Net.Terminals(), 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1RouteUpdn(b *testing.B) {
+	tp := fig1Net()
+	for i := 0; i < b.N; i++ {
+		routeOrSkip(b, updn.Engine{}, tp, 4)
+	}
+}
+
+func BenchmarkFig1RouteLASH(b *testing.B) {
+	tp := fig1Net()
+	for i := 0; i < b.N; i++ {
+		routeOrSkip(b, lash.Engine{}, tp, 4)
+	}
+}
+
+func BenchmarkFig1RouteTorus2QoS(b *testing.B) {
+	tp := fig1Net()
+	for i := 0; i < b.N; i++ {
+		routeOrSkip(b, dor.Engine{Meta: tp.Torus, Datelines: true}, tp, 4)
+	}
+}
+
+// BenchmarkFig1Simulate measures the all-to-all flit simulation on the
+// Nue-routed faulty torus (reduced phases).
+func BenchmarkFig1Simulate(b *testing.B) {
+	tp := fig1Net()
+	res, err := RouteNue(tp.Net, tp.Net.Terminals(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := AllToAllShift(tp.Net.Terminals(), 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Simulate(tp.Net, res, msgs, sim.PaperConfig())
+		if err != nil || r.Deadlocked {
+			b.Fatalf("sim failed: %v %+v", err, r)
+		}
+	}
+}
+
+// --- Fig. 9: edge forwarding index on a random topology ---
+
+func BenchmarkFig9GammaNue(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	tp := topology.RandomTopology(rng, 60, 240, 4)
+	res, err := RouteNue(tp.Net, tp.Net.Terminals(), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.EdgeForwardingIndex(tp.Net, res, nil)
+	}
+}
+
+func BenchmarkFig9RouteRandomNue8VC(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	tp := topology.RandomTopology(rng, 60, 240, 4)
+	for i := 0; i < b.N; i++ {
+		if _, err := RouteNue(tp.Net, tp.Net.Terminals(), 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9RouteRandomDFSSSP(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	tp := topology.RandomTopology(rng, 60, 240, 4)
+	for i := 0; i < b.N; i++ {
+		routeOrSkip(b, dfsssp.Engine{}, tp, 8)
+	}
+}
+
+// --- Table 1 / Fig. 10: generation and routing of the seven topologies ---
+
+func BenchmarkTable1Generate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table1Topologies(1)
+	}
+}
+
+func benchFig10Topology(b *testing.B, tp *Topology) {
+	b.Helper()
+	dests := tp.Net.Terminals()
+	res, err := RouteNue(tp.Net, dests, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := AllToAllShift(dests, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Simulate(tp.Net, res, msgs, sim.DefaultConfig())
+		if err != nil || r.Deadlocked {
+			b.Fatalf("sim failed: %v %+v", err, r)
+		}
+	}
+}
+
+func BenchmarkFig10TorusNue(b *testing.B)  { benchFig10Topology(b, topology.Torus3D(4, 4, 3, 4, 1)) }
+func BenchmarkFig10KautzNue(b *testing.B)  { benchFig10Topology(b, topology.Kautz(3, 2, 4, 1)) }
+func BenchmarkFig10FtreeNue(b *testing.B)  { benchFig10Topology(b, topology.KAryNTree(4, 3, 4)) }
+func BenchmarkFig10DragonNue(b *testing.B) { benchFig10Topology(b, topology.Dragonfly(6, 4, 3, 10)) }
+
+// --- Fig. 11: routing runtime on a faulty torus per engine ---
+
+func benchFig11(b *testing.B, eng Engine) {
+	b.Helper()
+	tp := topology.Torus3D(4, 4, 4, 4, 1)
+	faulty, _ := topology.InjectLinkFailures(tp, rand.New(rand.NewSource(11)), 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routeOrSkip(b, eng, faulty, 8)
+	}
+}
+
+func BenchmarkFig11Nue(b *testing.B)    { benchFig11(b, NewNue(DefaultNueOptions())) }
+func BenchmarkFig11DFSSSP(b *testing.B) { benchFig11(b, dfsssp.Engine{}) }
+func BenchmarkFig11LASH(b *testing.B)   { benchFig11(b, lash.Engine{}) }
+func BenchmarkFig11Torus2QoS(b *testing.B) {
+	tp := topology.Torus3D(4, 4, 4, 4, 1)
+	faulty, _ := topology.InjectLinkFailures(tp, rand.New(rand.NewSource(11)), 0.01)
+	eng := dor.Engine{Meta: faulty.Torus, Datelines: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routeOrSkip(b, eng, faulty, 8)
+	}
+}
+
+// --- Ablations (DESIGN.md §7) ---
+
+func benchNueWith(b *testing.B, mutate func(*NueOptions)) {
+	b.Helper()
+	tp := topology.Torus3D(4, 4, 3, 2, 1)
+	opts := DefaultNueOptions()
+	mutate(&opts)
+	eng := core.New(opts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Route(tp.Net, tp.Net.Terminals(), 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCycleSearchOmega vs ...Naive: the §4.6.1 ω-numbering
+// against a full acyclicity check per edge use.
+func BenchmarkAblationCycleSearchOmega(b *testing.B) {
+	benchNueWith(b, func(o *NueOptions) {})
+}
+
+func BenchmarkAblationCycleSearchNaive(b *testing.B) {
+	benchNueWith(b, func(o *NueOptions) { o.NaiveCycleSearch = true })
+}
+
+// BenchmarkAblationRootCentral vs ...Random: betweenness-central escape
+// roots against arbitrary roots (§4.3).
+func BenchmarkAblationRootCentral(b *testing.B) {
+	benchNueWith(b, func(o *NueOptions) { o.CentralRoot = true })
+}
+
+func BenchmarkAblationRootRandom(b *testing.B) {
+	benchNueWith(b, func(o *NueOptions) { o.CentralRoot = false })
+}
+
+// BenchmarkAblationPartition compares the partitioning strategies (§4.5).
+func BenchmarkAblationPartitionKWay(b *testing.B) {
+	benchNueWith(b, func(o *NueOptions) { o.Partition = partition.MultilevelKWay })
+}
+
+func BenchmarkAblationPartitionRandom(b *testing.B) {
+	benchNueWith(b, func(o *NueOptions) { o.Partition = partition.Random })
+}
+
+// BenchmarkAblationBacktracking on/off (§4.6.2/4.6.3).
+func BenchmarkAblationBacktrackingOn(b *testing.B) {
+	benchNueWith(b, func(o *NueOptions) { o.Backtracking = true; o.Shortcuts = true })
+}
+
+func BenchmarkAblationBacktrackingOff(b *testing.B) {
+	benchNueWith(b, func(o *NueOptions) { o.Backtracking = false; o.Shortcuts = false })
+}

@@ -1,0 +1,111 @@
+// Command nuebench regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	nuebench -exp fig1                 # faulty-torus throughput + VC demand
+//	nuebench -exp fig9 -trials 50      # edge forwarding index box-plot data
+//	nuebench -exp fig10 -phases 0      # Table 1 topologies, full all-to-all
+//	nuebench -exp fig11 -maxdim 10     # routing runtime scaling
+//	nuebench -exp table1               # topology configuration table
+//	nuebench -exp all                  # everything, default scales
+//
+// Default scales are laptop-sized; the flags restore the paper's full
+// parameters (see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, all")
+		trials = flag.Int("trials", 5, "fig9: number of random topologies (paper: 1000)")
+		phases = flag.Int("phases", 16, "fig10: all-to-all shift phases (0 = full, the paper's workload)")
+		maxDim = flag.Int("maxdim", 6, "fig11: largest torus dimension (paper: 10)")
+		maxVCs = flag.Int("vcs", 0, "override VC budget (0 = per-experiment default)")
+		seed   = flag.Int64("seed", 1, "random seed for topologies and partitioning")
+		verify = flag.Bool("verify", false, "fig11: verify deadlock freedom of every result (slow)")
+		out    = flag.String("o", "", "write output to file instead of stdout")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			experiments.WriteTable1(w, *seed)
+		case "fig1":
+			cfg := experiments.DefaultFig1Config()
+			cfg.Seed = *seed
+			if *maxVCs > 0 {
+				cfg.MaxVCs = *maxVCs
+			}
+			experiments.WriteFig1(w, cfg)
+		case "fig9":
+			cfg := experiments.DefaultFig9Config()
+			cfg.Trials = *trials
+			cfg.Seed = *seed
+			experiments.WriteFig9(w, cfg)
+		case "fig10":
+			cfg := experiments.DefaultFig10Config()
+			cfg.Phases = *phases
+			cfg.Seed = *seed
+			if *maxVCs > 0 {
+				cfg.MaxVCs = *maxVCs
+			}
+			experiments.WriteFig10(w, cfg)
+		case "ablation":
+			cfg := experiments.DefaultAblationConfig()
+			cfg.Seed = *seed
+			cfg.Trials = *trials
+			if *maxVCs > 0 {
+				cfg.VCs = *maxVCs
+			}
+			experiments.WriteAblation(w, cfg)
+		case "churn":
+			cfg := experiments.DefaultChurnConfig()
+			cfg.Seed = *seed
+			if *maxVCs > 0 {
+				cfg.MaxVCs = *maxVCs
+			}
+			experiments.WriteChurn(w, cfg)
+		case "fig11":
+			cfg := experiments.DefaultFig11Config()
+			cfg.MaxDim = *maxDim
+			cfg.Seed = *seed
+			cfg.Verify = *verify
+			if *maxVCs > 0 {
+				cfg.MaxVCs = *maxVCs
+			}
+			experiments.WriteFig11(w, cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig1", "fig9", "fig10", "fig11"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,111 @@
+// Command topogen generates the evaluation topologies and writes them in
+// the text format understood by cmd/nueroute.
+//
+// Usage:
+//
+//	topogen -all                           # print Table 1 statistics
+//	topogen -type torus -dims 4x4x3 -terminals 4 -out torus.topo
+//	topogen -type random -switches 125 -links 1000 -terminals 8 -seed 7
+//	topogen -type fattree -k 10 -levels 3 -terminals 11
+//	topogen -type kautz|dragonfly|cascade|tsubame
+//
+// Fault injection: -faillinks 0.01 removes 1% of switch-switch links,
+// -failswitch N disconnects switch N.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		all       = flag.Bool("all", false, "print the Table 1 statistics for all evaluation topologies")
+		typ       = flag.String("type", "torus", "topology type: torus, random, fattree, kautz, dragonfly, cascade, tsubame, ring")
+		dims      = flag.String("dims", "4x4x3", "torus dimensions")
+		switches  = flag.Int("switches", 125, "random: switch count; ring: ring length")
+		links     = flag.Int("links", 1000, "random: switch-switch links")
+		terminals = flag.Int("terminals", 4, "terminals per switch (or per leaf for fat trees)")
+		k         = flag.Int("k", 10, "fattree arity / kautz base / dragonfly a")
+		levels    = flag.Int("levels", 3, "fattree levels / kautz word length")
+		redund    = flag.Int("redundancy", 1, "parallel links per connection (torus, kautz)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		failLinks = flag.Float64("faillinks", 0, "fraction of switch-switch links to fail")
+		failSw    = flag.Int("failswitch", -1, "switch ID to disconnect")
+		out       = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if *all {
+		experiments.WriteTable1(os.Stdout, *seed)
+		return
+	}
+
+	rng := rand.New(rand.NewSource(*seed))
+	var tp *topology.Topology
+	switch *typ {
+	case "torus", "mesh":
+		var dx, dy, dz int
+		if _, err := fmt.Sscanf(strings.ToLower(*dims), "%dx%dx%d", &dx, &dy, &dz); err != nil {
+			fatal("bad -dims %q: %v", *dims, err)
+		}
+		if *typ == "mesh" {
+			tp = topology.Mesh3D(dx, dy, dz, *terminals, *redund)
+		} else {
+			tp = topology.Torus3D(dx, dy, dz, *terminals, *redund)
+		}
+	case "random":
+		tp = topology.RandomTopology(rng, *switches, *links, *terminals)
+	case "fattree":
+		tp = topology.KAryNTree(*k, *levels, *terminals)
+	case "kautz":
+		tp = topology.Kautz(*k, *levels, *terminals, *redund)
+	case "dragonfly":
+		tp = topology.Dragonfly(12, 6, 6, 15)
+	case "cascade":
+		tp = topology.Cascade2Group()
+	case "tsubame":
+		tp = topology.TsubameLike()
+	case "ring":
+		tp = topology.Ring(*switches, *terminals)
+	default:
+		fatal("unknown topology type %q", *typ)
+	}
+
+	if *failSw >= 0 {
+		tp = topology.FailSwitch(tp, graph.NodeID(*failSw))
+	}
+	if *failLinks > 0 {
+		var n int
+		tp, n = topology.InjectLinkFailures(tp, rng, *failLinks)
+		fmt.Fprintf(os.Stderr, "failed %d links\n", n)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := topology.Write(w, tp); err != nil {
+		fatal("%v", err)
+	}
+	st := topology.Describe(tp)
+	fmt.Fprintf(os.Stderr, "%s: %d switches, %d terminals, %d switch-switch links\n",
+		st.Name, st.Switches, st.Terminals, st.SSLinks)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

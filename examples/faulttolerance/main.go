@@ -1,0 +1,73 @@
+// Fault tolerance: degrade a torus step by step — first a dead switch,
+// then accumulating random link failures — and show which routing engines
+// survive each stage. This reproduces the paper's §5.3 observation in
+// miniature: topology-aware Torus-2QoS and VC-hungry DFSSSP/LASH
+// eventually fail, while Nue routes every stage with a fixed VC budget.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	const vcBudget = 8
+	base := repro.Torus3D(4, 4, 3, 2, 1)
+	rng := rand.New(rand.NewSource(42))
+
+	stages := []*repro.Topology{base}
+	// Stage 1: one dead switch (Torus-2QoS still copes).
+	s1 := repro.FailSwitch(base, base.Torus.SwitchAt[1][1][1])
+	stages = append(stages, s1)
+	// Stages 2+: pile on random link failures.
+	cur := s1
+	for i := 0; i < 3; i++ {
+		next, n := repro.InjectLinkFailures(cur, rng, 0.04)
+		fmt.Printf("(injected %d more link failures)\n", n)
+		cur = next
+		stages = append(stages, cur)
+	}
+
+	algos := []string{"torus2qos", "updn", "lash", "dfsssp", "nue"}
+	fmt.Printf("%-28s", "stage")
+	for _, a := range algos {
+		fmt.Printf("%-12s", a)
+	}
+	fmt.Println()
+
+	for i, tp := range stages {
+		name := fmt.Sprintf("stage %d (%s)", i, tp.Name)
+		fmt.Printf("%-28s", name)
+		dests := connectedTerminals(tp)
+		for _, a := range algos {
+			res, err := repro.Route(a, tp, dests, vcBudget)
+			status := "ok"
+			switch {
+			case err != nil:
+				status = "FAILS"
+			default:
+				if _, err := repro.Verify(tp.Net, res); err != nil {
+					status = "UNSAFE"
+				} else {
+					status = fmt.Sprintf("ok(%dvc)", res.VCs)
+				}
+			}
+			fmt.Printf("%-12s", status)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nNue's applicability never degrades: deadlock freedom is enforced during")
+	fmt.Println("path computation, not repaired afterwards, so the VC budget always suffices.")
+}
+
+func connectedTerminals(tp *repro.Topology) []repro.NodeID {
+	var out []repro.NodeID
+	for _, t := range tp.Net.Terminals() {
+		if tp.Net.Degree(t) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+// Network-on-chip: the paper's §7 argues Nue applies to NoC architectures
+// — tiles connected by virtual-channel routers, routed fault-tolerantly.
+// This example places 64 tiles on an 8x8 mesh, compares XY dimension-order
+// routing (the NoC standard) against Nue, then breaks a router in the
+// middle of the die: XY routing cannot route around it deadlock-free with
+// its detours verified, while Nue simply recomputes with the same single
+// virtual channel.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	tp := repro.Mesh2D(8, 8, 1)
+	fmt.Printf("die: %s — %d routers, %d tiles\n\n", tp.Name, tp.Net.NumSwitches(), tp.Net.NumTerminals())
+
+	cfg := sim.Config{PacketFlits: 4, MessageFlits: 8, BufferPackets: 2}
+	msgs := repro.AllToAllShift(tp.Net.Terminals(), 16)
+
+	fmt.Printf("%-10s%-8s%-22s%-18s%s\n", "routing", "VCs", "throughput(flits/cyc)", "avg latency(cyc)", "note")
+	for _, algo := range []string{"dor", "nue"} {
+		res, err := repro.Route(algo, tp, tp.Net.Terminals(), 1)
+		if err != nil {
+			fmt.Printf("%-10s%v\n", algo, err)
+			continue
+		}
+		if _, err := repro.Verify(tp.Net, res); err != nil {
+			fmt.Printf("%-10sUNSAFE: %v\n", algo, err)
+			continue
+		}
+		r, err := repro.Simulate(tp.Net, res, msgs, cfg)
+		if err != nil {
+			fmt.Printf("%-10s%v\n", algo, err)
+			continue
+		}
+		fmt.Printf("%-10s%-8d%-22.3f%-18.1f%s\n", algo, res.VCs, r.FlitsPerCycle, r.AvgMsgLatency, "ok")
+	}
+
+	// Kill a central router (manufacturing defect / thermal shutdown).
+	fmt.Println("\nafter disabling the router at (3,3):")
+	dead := tp.Torus.SwitchAt[3][3][0]
+	faulty := repro.FailSwitch(tp, dead)
+	liveTiles := connected(faulty)
+	msgs = repro.AllToAllShift(liveTiles, 16)
+	for _, algo := range []string{"dor", "nue"} {
+		res, err := repro.Route(algo, faulty, liveTiles, 1)
+		if err != nil {
+			fmt.Printf("%-10s%v\n", algo, err)
+			continue
+		}
+		if _, err := repro.Verify(faulty.Net, res); err != nil {
+			fmt.Printf("%-10sUNSAFE: %v\n", algo, err)
+			continue
+		}
+		r, err := repro.Simulate(faulty.Net, res, msgs, cfg)
+		if err != nil {
+			fmt.Printf("%-10s%v\n", algo, err)
+			continue
+		}
+		fmt.Printf("%-10s%-8d%-22.3f%-18.1f%s\n", algo, res.VCs, r.FlitsPerCycle, r.AvgMsgLatency, "ok")
+	}
+	fmt.Println("\nNue needs no topology knowledge and no extra VCs to survive the fault;")
+	fmt.Println("its deadlock freedom comes from the dependency-graph search itself.")
+}
+
+func connected(tp *repro.Topology) []repro.NodeID {
+	var out []repro.NodeID
+	for _, t := range tp.Net.Terminals() {
+		if tp.Net.Degree(t) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

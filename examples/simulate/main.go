@@ -1,0 +1,67 @@
+// Simulate: run the paper's all-to-all exchange on a Dragonfly with the
+// flit-level simulator and compare the throughput of several deadlock-free
+// routings — a miniature of Fig. 10. Also demonstrates the simulator
+// catching a real deadlock when fed an unsafe routing.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	tp := repro.Dragonfly(6, 4, 3, 10)
+	dests := tp.Net.Terminals()
+	fmt.Printf("network: %s — %d switches, %d terminals\n\n",
+		tp.Name, tp.Net.NumSwitches(), tp.Net.NumTerminals())
+
+	msgs := repro.AllToAllShift(dests, 24)
+	cfg := sim.PaperConfig() // 2 KiB messages
+
+	fmt.Printf("%-12s%-8s%-22s%-10s%s\n", "routing", "VCs", "throughput(flits/cyc)", "~GB/s", "note")
+	for _, algo := range []string{"updn", "lash", "dfsssp", "nue"} {
+		res, err := repro.Route(algo, tp, dests, 8)
+		if err != nil {
+			fmt.Printf("%-12s%-8s%-22s%-10s%v\n", algo, "-", "-", "-", err)
+			continue
+		}
+		r, err := repro.Simulate(tp.Net, res, msgs, cfg)
+		if err != nil {
+			fmt.Printf("%-12s%-8d%-22s%-10s%v\n", algo, res.VCs, "-", "-", err)
+			continue
+		}
+		note := "ok"
+		if r.Deadlocked {
+			note = "DEADLOCKED"
+		}
+		fmt.Printf("%-12s%-8d%-22.3f%-10.1f%s\n", algo, res.VCs, r.FlitsPerCycle, r.ThroughputGBs(), note)
+	}
+
+	// Negative demonstration: MinHop (OpenSM's default) is not deadlock
+	// free. On a torus with rings of five switches its minimal paths
+	// provably close the ring dependency cycles, and under full all-to-all
+	// load with tiny buffers the simulator wedges instead of reporting
+	// throughput.
+	fmt.Println("\nunsafe counter-example (minhop on a 5x5 torus, single VL, tiny buffers):")
+	torus := repro.Torus3D(5, 5, 1, 2, 1)
+	tDests := torus.Net.Terminals()
+	res, err := repro.Route("minhop", torus, tDests, 1)
+	if err != nil {
+		fmt.Println(" ", err)
+		return
+	}
+	if _, err := repro.Verify(torus.Net, res); err != nil {
+		fmt.Println("  verifier:", err)
+	}
+	small := cfg
+	small.BufferPackets = 1
+	r, err := repro.Simulate(torus.Net, res, repro.AllToAllShift(tDests, 0), small)
+	if err != nil {
+		fmt.Println(" ", err)
+		return
+	}
+	fmt.Printf("  simulator: delivered %d/%d messages, deadlocked=%v\n",
+		r.DeliveredMessages, r.TotalMessages, r.Deadlocked)
+}

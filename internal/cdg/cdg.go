@@ -1,0 +1,418 @@
+// Package cdg implements the complete channel dependency graph (complete
+// CDG, Definition 6 of the Nue paper) together with the ω-numbering of
+// acyclic used subgraphs and the cycle search of Algorithm 3.
+//
+// Vertices of the complete CDG are the directed channels of one virtual
+// layer; a directed edge (c_p, c_q) exists for every pair of adjacent
+// channels c_p = (x,y), c_q = (y,z) with x != z (no u-turns, not even over
+// parallel channels). Vertices and edges carry the states of §4.1:
+//
+//	unused  — not part of any routing so far (ω = 0)
+//	used    — induced by escape paths or by routes (ω >= 1, the ID of the
+//	          acyclic used subgraph the element belongs to)
+//	blocked — edges only: using the edge would close a cycle (ω = -1)
+//
+// Orientation convention: Nue's modified Dijkstra (Algorithm 1) starts at
+// the *destination* node and expands along channel directions; the
+// recorded dependency (c_p, c_q) therefore corresponds to real traffic
+// flowing (rev(c_q), rev(c_p)) toward the destination. Channel reversal is
+// an isomorphism of the complete CDG, so acyclicity transfers; escape-path
+// marking below uses the same recorded orientation (see DESIGN.md §6).
+package cdg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// State classifies a vertex or edge of the complete CDG.
+type State int8
+
+const (
+	// Unused elements are not part of any routing yet.
+	Unused State = iota
+	// Used elements belong to an acyclic used subgraph.
+	Used
+	// Blocked edges would close a cycle; they are permanently forbidden.
+	Blocked
+)
+
+func (s State) String() string {
+	switch s {
+	case Unused:
+		return "unused"
+	case Used:
+		return "used"
+	case Blocked:
+		return "blocked"
+	default:
+		return fmt.Sprintf("State(%d)", int8(s))
+	}
+}
+
+const (
+	omegaBlocked int32 = -1
+	omegaUnused  int32 = 0
+)
+
+// Graph is the complete CDG of one virtual layer, including mutable
+// ω-state. It is not safe for concurrent use.
+type Graph struct {
+	net *graph.Network
+
+	// CSR adjacency over channels: successors of channel c are
+	// succ[start[c]:start[c+1]]. Edge IDs are indices into succ.
+	start []int32
+	succ  []graph.ChannelID
+
+	chOmega []int32 // per channel: 0 unused, >=1 subgraph id
+	edOmega []int32 // per edge: -1 blocked, 0 unused, >=1 subgraph id
+
+	// Union-find over subgraph IDs (index 0 unused).
+	dsuParent []int32
+	dsuSize   []int32
+
+	// DFS scratch.
+	visited []int32
+	epoch   int32
+	stack   []graph.ChannelID
+
+	// Stats for ablation/benchmarks.
+	CycleSearches int // number of depth-first searches performed
+	EdgesBlocked  int // edges transitioned to blocked
+	Merges        int // subgraph unions
+
+	// Naive disables the ω-numbering optimization of §4.6.1: every edge
+	// use runs a full acyclicity check instead of the condition (a)-(d)
+	// shortcuts. Semantically identical, asymptotically slower; exists
+	// for the ablation benchmarks.
+	Naive bool
+}
+
+// NewComplete builds the complete CDG of one virtual layer of net,
+// Definition 6. Failed channels get no adjacency (they are unreachable
+// vertices).
+func NewComplete(net *graph.Network) *Graph {
+	nc := net.NumChannels()
+	g := &Graph{
+		net:       net,
+		start:     make([]int32, nc+1),
+		chOmega:   make([]int32, nc),
+		visited:   make([]int32, nc),
+		dsuParent: make([]int32, 1, 64),
+		dsuSize:   make([]int32, 1, 64),
+	}
+	// Count successors first.
+	total := 0
+	for c := 0; c < nc; c++ {
+		ch := net.Channel(graph.ChannelID(c))
+		if ch.Failed {
+			g.start[c+1] = g.start[c]
+			continue
+		}
+		cnt := 0
+		for _, nxt := range net.Out(ch.To) {
+			if net.Channel(nxt).To != ch.From {
+				cnt++
+			}
+		}
+		g.start[c+1] = g.start[c] + int32(cnt)
+		total += cnt
+	}
+	g.succ = make([]graph.ChannelID, 0, total)
+	for c := 0; c < nc; c++ {
+		ch := net.Channel(graph.ChannelID(c))
+		if ch.Failed {
+			continue
+		}
+		for _, nxt := range net.Out(ch.To) {
+			if net.Channel(nxt).To != ch.From {
+				g.succ = append(g.succ, nxt)
+			}
+		}
+	}
+	g.edOmega = make([]int32, len(g.succ))
+	return g
+}
+
+// Net returns the underlying network.
+func (g *Graph) Net() *graph.Network { return g.net }
+
+// NumEdges returns the number of edges of the complete CDG.
+func (g *Graph) NumEdges() int { return len(g.succ) }
+
+// Succ returns the successor channels of c. The slice must not be
+// modified. Edge IDs for (c, Succ(c)[i]) are int(start[c]) + i.
+func (g *Graph) Succ(c graph.ChannelID) []graph.ChannelID {
+	return g.succ[g.start[c]:g.start[c+1]]
+}
+
+// SuccBase returns the edge ID of the first successor edge of c; edge
+// (c, Succ(c)[i]) has ID SuccBase(c)+i.
+func (g *Graph) SuccBase(c graph.ChannelID) int32 { return g.start[c] }
+
+// EdgeID returns the edge identifier of (cp, cq), or -1 if the edge does
+// not exist in the complete CDG.
+func (g *Graph) EdgeID(cp, cq graph.ChannelID) int32 {
+	for i := g.start[cp]; i < g.start[cp+1]; i++ {
+		if g.succ[i] == cq {
+			return i
+		}
+	}
+	return -1
+}
+
+// EdgeState returns the state of edge e.
+func (g *Graph) EdgeState(e int32) State {
+	switch w := g.edOmega[e]; {
+	case w == omegaBlocked:
+		return Blocked
+	case w == omegaUnused:
+		return Unused
+	default:
+		return Used
+	}
+}
+
+// ChannelState returns the state of channel vertex c.
+func (g *Graph) ChannelState(c graph.ChannelID) State {
+	if g.chOmega[c] == omegaUnused {
+		return Unused
+	}
+	return Used
+}
+
+// newGroup allocates a fresh subgraph identifier.
+func (g *Graph) newGroup() int32 {
+	id := int32(len(g.dsuParent))
+	g.dsuParent = append(g.dsuParent, id)
+	g.dsuSize = append(g.dsuSize, 1)
+	return id
+}
+
+// find returns the canonical representative of group id (path halving).
+func (g *Graph) find(id int32) int32 {
+	for g.dsuParent[id] != id {
+		g.dsuParent[id] = g.dsuParent[g.dsuParent[id]]
+		id = g.dsuParent[id]
+	}
+	return id
+}
+
+// union merges the groups of a and b and returns the representative.
+func (g *Graph) union(a, b int32) int32 {
+	ra, rb := g.find(a), g.find(b)
+	if ra == rb {
+		return ra
+	}
+	if g.dsuSize[ra] < g.dsuSize[rb] {
+		ra, rb = rb, ra
+	}
+	g.dsuParent[rb] = ra
+	g.dsuSize[ra] += g.dsuSize[rb]
+	g.Merges++
+	return ra
+}
+
+// SameGroup reports whether two used channels belong to the same acyclic
+// used subgraph.
+func (g *Graph) SameGroup(a, b graph.ChannelID) bool {
+	if g.chOmega[a] == omegaUnused || g.chOmega[b] == omegaUnused {
+		return false
+	}
+	return g.find(g.chOmega[a]) == g.find(g.chOmega[b])
+}
+
+// SeedChannel puts channel c into the used state. If it was unused it
+// becomes its own fresh acyclic subgraph (the start of a new routing
+// step, cf. Fig. 6a). The group id is returned.
+func (g *Graph) SeedChannel(c graph.ChannelID) int32 {
+	if g.chOmega[c] == omegaUnused {
+		g.chOmega[c] = g.newGroup()
+	}
+	return g.find(g.chOmega[c])
+}
+
+// TryUseEdge implements Algorithm 3 for the edge (cp, cq): it reports
+// whether the edge can be used without closing a cycle in the used
+// subgraph of the complete CDG, marking it used on success and blocked on
+// failure. cp must already be used (Algorithm 1 only expands settled
+// channels).
+func (g *Graph) TryUseEdge(cp, cq graph.ChannelID) bool {
+	e := g.EdgeID(cp, cq)
+	if e < 0 {
+		panic(fmt.Sprintf("cdg: no edge (%d,%d) in complete CDG", cp, cq))
+	}
+	return g.TryUseEdgeByID(e, cp, cq)
+}
+
+// TryUseEdgeByID is TryUseEdge with a precomputed edge ID.
+func (g *Graph) TryUseEdgeByID(e int32, cp, cq graph.ChannelID) bool {
+	switch w := g.edOmega[e]; {
+	case w == omegaBlocked:
+		// Condition (a): known to close a cycle.
+		return false
+	case w >= 1:
+		// Condition (b): already used, part of an acyclic subgraph.
+		return true
+	}
+	if g.Naive {
+		return g.tryUseEdgeNaive(e, cp, cq)
+	}
+	gp := g.chOmega[cp]
+	if gp == omegaUnused {
+		panic("cdg: TryUseEdge from unused channel")
+	}
+	gp = g.find(gp)
+	gq := g.chOmega[cq]
+	if gq == omegaUnused {
+		// Condition (c), trivial case: cq joins cp's subgraph.
+		g.chOmega[cq] = gp
+		g.edOmega[e] = gp
+		return true
+	}
+	gq = g.find(gq)
+	if gp != gq {
+		// Condition (c): the edge connects two disjoint acyclic
+		// subgraphs; merging them cannot close a cycle.
+		r := g.union(gp, gq)
+		g.edOmega[e] = r
+		return true
+	}
+	// Condition (d): both endpoints in the same subgraph; a depth-first
+	// search from cq for cp decides.
+	g.CycleSearches++
+	if g.dfsFinds(cq, cp) {
+		g.edOmega[e] = omegaBlocked
+		g.EdgesBlocked++
+		return false
+	}
+	g.edOmega[e] = gp
+	return true
+}
+
+// tryUseEdgeNaive marks the edge used and verifies acyclicity with a full
+// Kahn pass, reverting on failure (the baseline §4.6.1 compares against).
+func (g *Graph) tryUseEdgeNaive(e int32, cp, cq graph.ChannelID) bool {
+	gp := g.chOmega[cp]
+	if gp == omegaUnused {
+		panic("cdg: TryUseEdge from unused channel")
+	}
+	gp = g.find(gp)
+	prevQ := g.chOmega[cq]
+	if prevQ == omegaUnused {
+		g.chOmega[cq] = gp
+	} else {
+		g.union(gp, g.find(prevQ))
+	}
+	g.edOmega[e] = gp
+	g.CycleSearches++
+	if g.UsedAcyclic() {
+		return true
+	}
+	g.edOmega[e] = omegaBlocked
+	g.EdgesBlocked++
+	if prevQ == omegaUnused {
+		g.chOmega[cq] = omegaUnused
+	}
+	return false
+}
+
+// dfsFinds reports whether target is reachable from src over used edges.
+// Used edges reachable from src all belong to src's subgraph, so no group
+// filtering is required.
+func (g *Graph) dfsFinds(src, target graph.ChannelID) bool {
+	g.epoch++
+	g.stack = g.stack[:0]
+	g.stack = append(g.stack, src)
+	g.visited[src] = g.epoch
+	for len(g.stack) > 0 {
+		c := g.stack[len(g.stack)-1]
+		g.stack = g.stack[:len(g.stack)-1]
+		if c == target {
+			return true
+		}
+		base := g.start[c]
+		for i, nxt := range g.Succ(c) {
+			if g.edOmega[base+int32(i)] >= 1 && g.visited[nxt] != g.epoch {
+				g.visited[nxt] = g.epoch
+				g.stack = append(g.stack, nxt)
+			}
+		}
+	}
+	return false
+}
+
+// UsedAcyclic verifies that the used subgraph of the complete CDG is
+// acyclic (Kahn's algorithm over used edges). Intended for tests and the
+// routing verifier; O(|C| + |E|).
+func (g *Graph) UsedAcyclic() bool {
+	nc := len(g.chOmega)
+	indeg := make([]int32, nc)
+	usedEdges := 0
+	for c := 0; c < nc; c++ {
+		base := g.start[c]
+		for i := range g.Succ(graph.ChannelID(c)) {
+			if g.edOmega[base+int32(i)] >= 1 {
+				indeg[g.succ[base+int32(i)]]++
+				usedEdges++
+			}
+		}
+	}
+	queue := make([]graph.ChannelID, 0, nc)
+	for c := 0; c < nc; c++ {
+		if indeg[c] == 0 {
+			queue = append(queue, graph.ChannelID(c))
+		}
+	}
+	removed := 0
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		base := g.start[c]
+		for i, nxt := range g.Succ(c) {
+			if g.edOmega[base+int32(i)] >= 1 {
+				removed++
+				indeg[nxt]--
+				if indeg[nxt] == 0 {
+					queue = append(queue, nxt)
+				}
+			}
+		}
+	}
+	return removed == usedEdges
+}
+
+// UsedChannels returns the number of channels in the used state.
+func (g *Graph) UsedChannels() int {
+	n := 0
+	for _, w := range g.chOmega {
+		if w >= 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// UsedEdges returns the number of edges in the used state.
+func (g *Graph) UsedEdges() int {
+	n := 0
+	for _, w := range g.edOmega {
+		if w >= 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// BlockedEdges returns the number of edges in the blocked state.
+func (g *Graph) BlockedEdges() int {
+	n := 0
+	for _, w := range g.edOmega {
+		if w == omegaBlocked {
+			n++
+		}
+	}
+	return n
+}

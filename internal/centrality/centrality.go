@@ -1,0 +1,167 @@
+// Package centrality implements Brandes' betweenness centrality algorithm
+// and the convex subgraph of Definition 8, used by Nue to pick the escape
+// path root node (§4.3 of the paper).
+package centrality
+
+import (
+	"repro/internal/graph"
+)
+
+// ConvexSubgraph returns the node set N^H of the convex subgraph for the
+// destination set dests (Definition 8): all destinations plus every node
+// that is an intermediate node of at least one shortest path between two
+// destinations. Runs in O(|dests| * (|N| + |C|)).
+func ConvexSubgraph(g *graph.Network, dests []graph.NodeID) []graph.NodeID {
+	inHull := make([]bool, g.NumNodes())
+	isDest := make([]bool, g.NumNodes())
+	for _, d := range dests {
+		isDest[d] = true
+		inHull[d] = true
+	}
+	marked := make([]bool, g.NumNodes())
+	for _, d := range dests {
+		res := graph.BFS(g, d)
+		// Backward sweep: a node lies on a shortest path from d to some
+		// destination iff it is a destination itself or a BFS-predecessor
+		// of such a node. Order is reverse BFS (decreasing distance).
+		for i := range marked {
+			marked[i] = false
+		}
+		for i := len(res.Order) - 1; i >= 0; i-- {
+			n := res.Order[i]
+			if !(isDest[n] || marked[n]) {
+				continue
+			}
+			inHull[n] = true
+			if res.Dist[n] == 0 {
+				continue
+			}
+			// Mark all predecessors on shortest paths (neighbors one hop
+			// closer to d).
+			for _, c := range g.In(n) {
+				p := g.Channel(c).From
+				if res.Dist[p] == res.Dist[n]-1 {
+					marked[p] = true
+				}
+			}
+		}
+	}
+	var hull []graph.NodeID
+	for n := 0; n < g.NumNodes(); n++ {
+		if inHull[n] {
+			hull = append(hull, graph.NodeID(n))
+		}
+	}
+	return hull
+}
+
+// Betweenness computes Brandes' betweenness centrality for every node of
+// the subgraph of g induced by the node set sub (nil means all nodes).
+// The graph is treated as unweighted and parallel channels are counted
+// once. The result maps only nodes of the subgraph; other entries are
+// zero. Runs in O(|sub| * (|N| + |C|)).
+func Betweenness(g *graph.Network, sub []graph.NodeID) []float64 {
+	n := g.NumNodes()
+	in := make([]bool, n)
+	if sub == nil {
+		for i := range in {
+			in[i] = true
+		}
+	} else {
+		for _, s := range sub {
+			in[s] = true
+		}
+	}
+	cb := make([]float64, n)
+	sigma := make([]float64, n)
+	dist := make([]int32, n)
+	delta := make([]float64, n)
+	order := make([]graph.NodeID, 0, n)
+	preds := make([][]graph.NodeID, n)
+	seenNeighbor := make([]int32, n)
+	epoch := int32(0)
+
+	for s := 0; s < n; s++ {
+		if !in[s] {
+			continue
+		}
+		src := graph.NodeID(s)
+		// Single-source shortest path counting (BFS).
+		order = order[:0]
+		for i := 0; i < n; i++ {
+			sigma[i] = 0
+			dist[i] = -1
+			delta[i] = 0
+			preds[i] = preds[i][:0]
+		}
+		sigma[src] = 1
+		dist[src] = 0
+		order = append(order, src)
+		for head := 0; head < len(order); head++ {
+			u := order[head]
+			epoch++
+			for _, c := range g.Out(u) {
+				v := g.Channel(c).To
+				if !in[v] || seenNeighbor[v] == epoch {
+					continue // skip parallel channels to the same neighbor
+				}
+				seenNeighbor[v] = epoch
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					order = append(order, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+			}
+		}
+		// Dependency accumulation in reverse BFS order.
+		for i := len(order) - 1; i > 0; i-- {
+			w := order[i]
+			coeff := (1 + delta[w]) / sigma[w]
+			for _, v := range preds[w] {
+				delta[v] += sigma[v] * coeff
+			}
+			cb[w] += delta[w]
+		}
+	}
+	return cb
+}
+
+// MostCentral returns the node of sub with the highest betweenness
+// centrality within the induced subgraph, breaking ties toward switches
+// first and then toward lower IDs. If sub is empty it returns NoNode.
+func MostCentral(g *graph.Network, sub []graph.NodeID) graph.NodeID {
+	if len(sub) == 0 {
+		return graph.NoNode
+	}
+	cb := Betweenness(g, sub)
+	best := sub[0]
+	for _, n := range sub[1:] {
+		if better(g, cb, n, best) {
+			best = n
+		}
+	}
+	return best
+}
+
+// better reports whether a should be preferred over b as root.
+func better(g *graph.Network, cb []float64, a, b graph.NodeID) bool {
+	if cb[a] != cb[b] {
+		return cb[a] > cb[b]
+	}
+	as, bs := g.IsSwitch(a), g.IsSwitch(b)
+	if as != bs {
+		return as
+	}
+	return a < b
+}
+
+// RootForDestinations computes the escape-path root for a destination set
+// (§4.3): the most central node of the convex subgraph of the
+// destinations. This is the composition Nue uses per virtual layer.
+func RootForDestinations(g *graph.Network, dests []graph.NodeID) graph.NodeID {
+	hull := ConvexSubgraph(g, dests)
+	return MostCentral(g, hull)
+}

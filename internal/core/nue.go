@@ -1,0 +1,273 @@
+// Package core implements Nue routing (Domke, Hoefler, Matsuoka, HPDC'16):
+// a deadlock-free, oblivious, destination-based routing function that
+// performs its path search inside the complete channel dependency graph of
+// each virtual layer, so deadlock avoidance happens during path
+// computation. Nue routes every topology with every number of virtual
+// channels k >= 1, including k = 1.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/cdg"
+	"repro/internal/centrality"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/routing"
+)
+
+// Options configures Nue routing. The zero value is NOT usable; call
+// DefaultOptions.
+type Options struct {
+	// Partition selects the destination partitioning strategy (§4.5).
+	Partition partition.Strategy
+	// Seed drives partitioning tie-breaks; runs are deterministic per
+	// seed.
+	Seed int64
+	// CentralRoot selects the escape-path root by betweenness centrality
+	// on the convex subgraph (§4.3); when false a deterministic arbitrary
+	// destination switch is used (ablation).
+	CentralRoot bool
+	// Backtracking enables the local backtracking of §4.6.2. Without it,
+	// every impasse falls back to the escape paths.
+	Backtracking bool
+	// Shortcuts enables using formerly isolated nodes as shortcuts
+	// (§4.6.3).
+	Shortcuts bool
+	// Sources lists the traffic sources used for the balancing weight
+	// updates; nil means all terminals (or all nodes if the network has
+	// no terminals).
+	Sources []graph.NodeID
+	// NaiveCycleSearch disables the ω-numbering optimization (§4.6.1)
+	// and runs a full acyclicity check per edge use; for ablation only.
+	NaiveCycleSearch bool
+	// Parallel routes virtual layers concurrently (one goroutine per
+	// layer). Layers are fully independent — each owns its complete CDG,
+	// spanning tree and channel weights, and writes disjoint table
+	// columns — so the result is bit-identical to the serial run.
+	Parallel bool
+}
+
+// DefaultOptions returns the configuration used in the paper's evaluation.
+func DefaultOptions() Options {
+	return Options{
+		Partition:    partition.MultilevelKWay,
+		CentralRoot:  true,
+		Backtracking: true,
+		Shortcuts:    true,
+		Parallel:     true,
+	}
+}
+
+// Nue is the routing engine. It implements routing.Engine.
+type Nue struct {
+	opts Options
+}
+
+// New returns a Nue engine with the given options.
+func New(opts Options) *Nue { return &Nue{opts: opts} }
+
+// Name implements routing.Engine.
+func (n *Nue) Name() string { return "nue" }
+
+// Route computes deadlock-free destination-based forwarding tables toward
+// dests using at most maxVCs virtual layers. Nue always succeeds on
+// connected networks for any maxVCs >= 1 (Lemma 3).
+func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {
+	if maxVCs < 1 {
+		return nil, errors.New("nue: need at least one virtual channel")
+	}
+	if len(dests) == 0 {
+		return nil, errors.New("nue: empty destination set")
+	}
+	// Disconnected destinations (e.g. terminals orphaned by a switch
+	// failure) cannot have paths; they keep their table column but are
+	// not routed.
+	routable := make([]graph.NodeID, 0, len(dests))
+	for _, d := range dests {
+		if net.Degree(d) > 0 {
+			routable = append(routable, d)
+		}
+	}
+	if len(routable) == 0 {
+		return nil, errors.New("nue: no connected destinations")
+	}
+	rng := rand.New(rand.NewSource(n.opts.Seed))
+	parts := partition.Split(net, routable, maxVCs, n.opts.Partition, rng)
+
+	table := routing.NewTable(net, dests)
+	destLayer := make([]uint8, len(dests))
+	isSource := n.sourceMask(net)
+
+	// Each layer owns its complete CDG, escape tree and weights, and
+	// writes disjoint table columns (the destinations are partitioned),
+	// so layers can run concurrently with bit-identical results.
+	layerStats := make([]Stats, len(parts))
+	layerErrs := make([]error, len(parts))
+	layerSeeds := make([]int64, len(parts))
+	for li := range parts {
+		layerSeeds[li] = rng.Int63()
+	}
+	routeOne := func(li int) {
+		lrng := rand.New(rand.NewSource(layerSeeds[li]))
+		layerErrs[li] = n.routeLayer(net, table, destLayer, uint8(li), parts[li],
+			isSource, &layerStats[li], lrng)
+	}
+	if n.opts.Parallel && len(parts) > 1 {
+		var wg sync.WaitGroup
+		for li := range parts {
+			wg.Add(1)
+			go func(li int) {
+				defer wg.Done()
+				routeOne(li)
+			}(li)
+		}
+		wg.Wait()
+	} else {
+		for li := range parts {
+			routeOne(li)
+		}
+	}
+	stats := &Stats{}
+	for li := range parts {
+		if layerErrs[li] != nil {
+			return nil, fmt.Errorf("nue: layer %d: %w", li, layerErrs[li])
+		}
+		s := &layerStats[li]
+		stats.EscapeFallbacks += s.EscapeFallbacks
+		stats.IslandsResolved += s.IslandsResolved
+		stats.CycleSearches += s.CycleSearches
+		stats.BlockedEdges += s.BlockedEdges
+		stats.EscapeDeps += s.EscapeDeps
+	}
+	return &routing.Result{
+		Algorithm: "nue",
+		Table:     table,
+		VCs:       len(parts),
+		DestLayer: destLayer,
+		Stats: map[string]float64{
+			"escape_fallbacks": float64(stats.EscapeFallbacks),
+			"islands_resolved": float64(stats.IslandsResolved),
+			"cycle_searches":   float64(stats.CycleSearches),
+			"blocked_edges":    float64(stats.BlockedEdges),
+			"escape_deps":      float64(stats.EscapeDeps),
+		},
+	}, nil
+}
+
+// routeLayer runs lines 3-11 of Algorithm 2 for one virtual layer.
+func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []uint8, layer uint8,
+	part []graph.NodeID, isSource []bool, stats *Stats, rng *rand.Rand) error {
+
+	root := n.pickRoot(net, part, rng)
+	if root == graph.NoNode {
+		return errors.New("no usable escape-path root")
+	}
+	tree := graph.SpanningTree(net, root)
+	for _, d := range part {
+		if tree.Dist[d] < 0 {
+			return fmt.Errorf("destination %d unreachable from root %d (network disconnected)", d, root)
+		}
+	}
+	d := cdg.NewComplete(net)
+	d.Naive = n.opts.NaiveCycleSearch
+	ep := d.MarkEscapePaths(tree, part)
+	stats.EscapeDeps += ep.Deps
+
+	ls := newLayerState(net, d, tree, n.opts, isSource, stats)
+	for _, dest := range part {
+		destLayer[table.DestIndex(dest)] = layer
+		parent, fellBack := ls.routeDest(dest)
+		if fellBack {
+			fillTableFromTree(net, table, tree, dest)
+			ls.updateWeightsEscape(dest)
+			continue
+		}
+		for v := 0; v < net.NumNodes(); v++ {
+			c := parent[v]
+			if c == graph.NoChannel || !net.IsSwitch(graph.NodeID(v)) {
+				continue
+			}
+			// Recorded orientation: parent[v] points away from dest; the
+			// traffic next hop is its reverse.
+			table.Set(graph.NodeID(v), dest, net.Channel(c).Reverse)
+		}
+		ls.updateWeights(dest, parent)
+	}
+	stats.CycleSearches += d.CycleSearches
+	stats.BlockedEdges += d.EdgesBlocked
+	if !d.UsedAcyclic() {
+		// Cannot happen if the CDG machinery is correct; guard anyway.
+		return errors.New("internal error: used CDG became cyclic")
+	}
+	return nil
+}
+
+// pickRoot chooses the escape-path root for a layer.
+func (n *Nue) pickRoot(net *graph.Network, part []graph.NodeID, rng *rand.Rand) graph.NodeID {
+	if !n.opts.CentralRoot {
+		// Ablation: attachment switch of a random destination.
+		d := part[rng.Intn(len(part))]
+		if net.IsTerminal(d) {
+			return net.TerminalSwitch(d)
+		}
+		return d
+	}
+	root := centrality.RootForDestinations(net, part)
+	if root != graph.NoNode && net.IsTerminal(root) && net.Degree(root) > 0 {
+		// A terminal root works but wastes a hop; hoist to its switch.
+		root = net.TerminalSwitch(root)
+	}
+	return root
+}
+
+// sourceMask builds the traffic-source indicator for weight updates.
+func (n *Nue) sourceMask(net *graph.Network) []bool {
+	mask := make([]bool, net.NumNodes())
+	if n.opts.Sources != nil {
+		for _, s := range n.opts.Sources {
+			mask[s] = true
+		}
+		return mask
+	}
+	if net.NumTerminals() > 0 {
+		for _, t := range net.Terminals() {
+			mask[t] = true
+		}
+		return mask
+	}
+	for i := range mask {
+		mask[i] = true
+	}
+	return mask
+}
+
+// fillTableFromTree routes every node toward dest over the spanning tree
+// (escape-path fallback). A BFS over tree channels from dest yields each
+// node's parent-toward-dest in O(|N|).
+func fillTableFromTree(net *graph.Network, table *routing.Table, tree *graph.Tree, dest graph.NodeID) {
+	// parentToward[v] = first channel of the tree path v -> dest.
+	order := []graph.NodeID{dest}
+	visited := make([]bool, net.NumNodes())
+	visited[dest] = true
+	for head := 0; head < len(order); head++ {
+		u := order[head]
+		for _, c := range net.Out(u) {
+			if !tree.IsTreeChannel(c) {
+				continue
+			}
+			v := net.Channel(c).To
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			if net.IsSwitch(v) {
+				table.Set(v, dest, net.Channel(c).Reverse)
+			}
+			order = append(order, v)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/routing/verify"
+	"repro/internal/topology"
+)
+
+// ChurnConfig parameterizes the fail-in-place experiment: how much of the
+// forwarding state changes when links fail and the network is re-routed
+// in place (the operational scenario of the paper's reference [7],
+// Domke et al., SC'14, which motivates topology-agnostic routing).
+type ChurnConfig struct {
+	// Steps is the number of successive failure events.
+	Steps int
+	// FailuresPerStep is the fraction of remaining switch-switch links
+	// failed per event.
+	FailuresPerStep float64
+	// MaxVCs is the VC budget.
+	MaxVCs int
+	// Algorithms lists engine names (EngineByName); inapplicable ones are
+	// reported as such.
+	Algorithms []string
+	Seed       int64
+}
+
+// DefaultChurnConfig degrades a 4x4x4 torus three times by ~2% each.
+func DefaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Steps:           3,
+		FailuresPerStep: 0.02,
+		MaxVCs:          8,
+		Algorithms:      []string{"nue", "updn", "lash", "dfsssp", "torus2qos"},
+	}
+}
+
+// ChurnRow reports one (step, algorithm) measurement.
+type ChurnRow struct {
+	Step      int
+	Failed    int // cumulative failed links
+	Algorithm string
+	// ChangedEntries is the fraction of surviving forwarding entries that
+	// differ from the previous step's tables (re-cabling cost in an
+	// operational fail-in-place network).
+	ChangedEntries float64
+	Err            string
+}
+
+// Churn runs the fail-in-place experiment on a 4x4x4 torus.
+func Churn(cfg ChurnConfig) []ChurnRow {
+	base := topology.Torus3D(4, 4, 4, 2, 1)
+	rng := rngFor(cfg.Seed, 77)
+	var rows []ChurnRow
+
+	prev := map[string]*routing.Result{}
+	cur := base
+	failedTotal := 0
+	for step := 0; step <= cfg.Steps; step++ {
+		if step > 0 {
+			next, n := topology.InjectLinkFailures(cur, rng, cfg.FailuresPerStep)
+			cur = next
+			failedTotal += n
+		}
+		dests := connectedTerminals(cur.Net)
+		for _, name := range cfg.Algorithms {
+			row := ChurnRow{Step: step, Failed: failedTotal, Algorithm: name}
+			eng, err := EngineByName(name, cur, cfg.Seed)
+			if err != nil {
+				row.Err = err.Error()
+				rows = append(rows, row)
+				continue
+			}
+			res, err := eng.Route(cur.Net, dests, cfg.MaxVCs)
+			if err != nil {
+				row.Err = err.Error()
+				delete(prev, name)
+				rows = append(rows, row)
+				continue
+			}
+			if _, err := verify.Check(cur.Net, res, nil); err != nil {
+				row.Err = "verification failed: " + err.Error()
+				delete(prev, name)
+				rows = append(rows, row)
+				continue
+			}
+			if p := prev[name]; p != nil && step > 0 {
+				row.ChangedEntries = tableChurn(cur.Net, p, res, dests)
+			}
+			prev[name] = res
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// tableChurn computes the fraction of (switch, destination) entries whose
+// next hop changed between two results (over entries present in both).
+func tableChurn(net *graph.Network, old, new_ *routing.Result, dests []graph.NodeID) float64 {
+	changed, total := 0, 0
+	for _, s := range net.Switches() {
+		if net.Degree(s) == 0 {
+			continue
+		}
+		for _, d := range dests {
+			a := old.Table.Next(s, d)
+			b := new_.Table.Next(s, d)
+			if a == graph.NoChannel && b == graph.NoChannel {
+				continue
+			}
+			total++
+			if a != b {
+				changed++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(changed) / float64(total)
+}
+
+// WriteChurn runs and prints the experiment.
+func WriteChurn(w io.Writer, cfg ChurnConfig) []ChurnRow {
+	rows := Churn(cfg)
+	fmt.Fprintf(w, "## Fail-in-place churn — 4x4x4 torus, %d events of %.0f%% link failures\n",
+		cfg.Steps, cfg.FailuresPerStep*100)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "step\tfailed-links\trouting\tchanged-entries%\tnote")
+	for _, r := range rows {
+		note := r.Err
+		if note == "" {
+			note = "ok"
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%.1f\t%s\n", r.Step, r.Failed, r.Algorithm, r.ChangedEntries*100, note)
+	}
+	tw.Flush()
+	return rows
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Fig1Config parameterizes the Fig. 1 reproduction.
+type Fig1Config struct {
+	// Phases limits the all-to-all shift phases (0 = full all-to-all, the
+	// paper's workload).
+	Phases int
+	// Sim is the flit-level simulator configuration.
+	Sim sim.Config
+	// MaxVCs is the VC budget (the paper's network supports 4).
+	MaxVCs int
+	// Seed drives Nue partitioning.
+	Seed int64
+}
+
+// DefaultFig1Config mirrors the paper: 4x4x3 torus, 4 terminals/switch,
+// one failed switch, QDR InfiniBand, 2 KiB messages, at most 4 VCs.
+func DefaultFig1Config() Fig1Config {
+	return Fig1Config{Phases: 0, Sim: sim.PaperConfig(), MaxVCs: 4}
+}
+
+// Fig1 reproduces Fig. 1a (simulated all-to-all throughput on the faulty
+// 4x4x3 torus) and Fig. 1b (required VCs): Up*/Down*, LASH, DFSSSP and
+// Torus-2QoS under the VC budget, plus Nue for every VC count from 1 to
+// the budget.
+func Fig1(cfg Fig1Config) []ThroughputRow {
+	tp := topology.Torus3D(4, 4, 3, 4, 1)
+	faulty := topology.FailSwitch(tp, tp.Torus.SwitchAt[1][2][0])
+	faulty.Name = "4x4x3-torus-1sw"
+
+	var rows []ThroughputRow
+	for _, eng := range Baselines(faulty) {
+		rows = append(rows, runWithVCBudget(faulty, eng, cfg.MaxVCs, cfg.Phases, cfg.Sim))
+	}
+	for k := 1; k <= cfg.MaxVCs; k++ {
+		row := routeAndSimulate(faulty, NueEngine(cfg.Seed), k, cfg.Phases, cfg.Sim)
+		row.Routing = nueName(k)
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// runWithVCBudget lets an engine use the full budget but reports an error
+// row (like the paper's hatched/missing bars) if it exceeds it.
+func runWithVCBudget(tp *topology.Topology, eng routing.Engine, maxVCs, phases int, cfg sim.Config) ThroughputRow {
+	return routeAndSimulate(tp, eng, maxVCs, phases, cfg)
+}
+
+func nueName(k int) string { return fmt.Sprintf("nue-%dvc", k) }
+
+// WriteFig1 runs and prints the experiment.
+func WriteFig1(w io.Writer, cfg Fig1Config) []ThroughputRow {
+	rows := Fig1(cfg)
+	PrintThroughput(w, "Fig. 1 — all-to-all throughput and required VCs, faulty 4x4x3 torus (47 switches, 188 terminals)", rows)
+	return rows
+}

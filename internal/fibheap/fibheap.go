@@ -1,0 +1,268 @@
+// Package fibheap implements a Fibonacci heap keyed by float64 priorities
+// with integer items. It provides the O(1) amortized decrease-key operation
+// that Algorithm 1 of the Nue paper requires for its
+// O(|C| log |C| + |E|) Dijkstra bound.
+//
+// Items are small non-negative integers (channel IDs); the heap keeps a
+// dense handle table so callers never manage node pointers.
+package fibheap
+
+import "math"
+
+type node struct {
+	item   int
+	key    float64
+	parent *node
+	child  *node
+	left   *node
+	right  *node
+	degree int
+	mark   bool
+}
+
+// Heap is a Fibonacci min-heap over integer items with float64 keys.
+// The zero value is not usable; call New.
+type Heap struct {
+	min    *node
+	n      int
+	handle []*node // item -> node, nil if absent
+	free   []*node // recycled nodes (hot loops insert/extract millions)
+}
+
+// New returns an empty heap able to hold items in [0, capacity).
+func New(capacity int) *Heap {
+	return &Heap{handle: make([]*node, capacity)}
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap) Len() int { return h.n }
+
+// Contains reports whether item is currently in the heap.
+func (h *Heap) Contains(item int) bool { return h.handle[item] != nil }
+
+// Key returns the current key of item. It panics if absent.
+func (h *Heap) Key(item int) float64 {
+	nd := h.handle[item]
+	if nd == nil {
+		panic("fibheap: Key of absent item")
+	}
+	return nd.key
+}
+
+// Insert adds item with the given key. It panics if the item is already
+// present.
+func (h *Heap) Insert(item int, key float64) {
+	if h.handle[item] != nil {
+		panic("fibheap: duplicate insert")
+	}
+	var nd *node
+	if l := len(h.free); l > 0 {
+		nd = h.free[l-1]
+		h.free = h.free[:l-1]
+		*nd = node{item: item, key: key}
+	} else {
+		nd = &node{item: item, key: key}
+	}
+	nd.left = nd
+	nd.right = nd
+	h.handle[item] = nd
+	h.addToRoots(nd)
+	h.n++
+}
+
+// addToRoots splices nd into the root list and updates min.
+func (h *Heap) addToRoots(nd *node) {
+	nd.parent = nil
+	if h.min == nil {
+		nd.left = nd
+		nd.right = nd
+		h.min = nd
+		return
+	}
+	nd.left = h.min
+	nd.right = h.min.right
+	h.min.right.left = nd
+	h.min.right = nd
+	if nd.key < h.min.key {
+		h.min = nd
+	}
+}
+
+// Min returns the item with the smallest key without removing it. The
+// second result is false if the heap is empty.
+func (h *Heap) Min() (int, bool) {
+	if h.min == nil {
+		return 0, false
+	}
+	return h.min.item, true
+}
+
+// ExtractMin removes and returns the item with the smallest key. The
+// second result is false if the heap is empty.
+func (h *Heap) ExtractMin() (int, bool) {
+	z := h.min
+	if z == nil {
+		return 0, false
+	}
+	// Promote children to roots.
+	if z.child != nil {
+		c := z.child
+		for {
+			next := c.right
+			c.parent = nil
+			c.mark = false
+			// Splice c next to z in the root list.
+			c.left = z
+			c.right = z.right
+			z.right.left = c
+			z.right = c
+			if next == z.child {
+				break
+			}
+			c = next
+		}
+		z.child = nil
+	}
+	// Remove z from root list.
+	z.left.right = z.right
+	z.right.left = z.left
+	if z == z.right {
+		h.min = nil
+	} else {
+		h.min = z.right
+		h.consolidate()
+	}
+	h.n--
+	h.handle[z.item] = nil
+	h.free = append(h.free, z)
+	return z.item, true
+}
+
+// consolidate links roots of equal degree until all degrees are unique.
+func (h *Heap) consolidate() {
+	maxDeg := int(math.Log2(float64(h.n)))*2 + 3
+	buckets := make([]*node, maxDeg)
+
+	// Collect the root list first; it is mutated while linking.
+	var roots []*node
+	for r, start := h.min, h.min; ; {
+		roots = append(roots, r)
+		r = r.right
+		if r == start {
+			break
+		}
+	}
+	for _, w := range roots {
+		x := w
+		d := x.degree
+		for buckets[d] != nil {
+			y := buckets[d]
+			if y.key < x.key {
+				x, y = y, x
+			}
+			h.link(y, x)
+			buckets[d] = nil
+			d++
+		}
+		buckets[d] = x
+	}
+	h.min = nil
+	for _, b := range buckets {
+		if b == nil {
+			continue
+		}
+		b.left = b
+		b.right = b
+		h.addToRoots(b)
+	}
+}
+
+// link makes y a child of x (both were roots, key(x) <= key(y)).
+func (h *Heap) link(y, x *node) {
+	// Remove y from root list.
+	y.left.right = y.right
+	y.right.left = y.left
+	y.parent = x
+	y.mark = false
+	if x.child == nil {
+		y.left = y
+		y.right = y
+		x.child = y
+	} else {
+		y.left = x.child
+		y.right = x.child.right
+		x.child.right.left = y
+		x.child.right = y
+	}
+	x.degree++
+}
+
+// DecreaseKey lowers the key of item to key. It panics if the item is
+// absent or the new key is greater than the current key.
+func (h *Heap) DecreaseKey(item int, key float64) {
+	nd := h.handle[item]
+	if nd == nil {
+		panic("fibheap: DecreaseKey of absent item")
+	}
+	if key > nd.key {
+		panic("fibheap: DecreaseKey increases key")
+	}
+	nd.key = key
+	p := nd.parent
+	if p != nil && nd.key < p.key {
+		h.cut(nd, p)
+		h.cascadingCut(p)
+	}
+	if nd.key < h.min.key {
+		h.min = nd
+	}
+}
+
+// InsertOrDecrease inserts the item if absent, otherwise decreases its key
+// if the new key is smaller. Returns true if the heap changed.
+func (h *Heap) InsertOrDecrease(item int, key float64) bool {
+	nd := h.handle[item]
+	if nd == nil {
+		h.Insert(item, key)
+		return true
+	}
+	if key < nd.key {
+		h.DecreaseKey(item, key)
+		return true
+	}
+	return false
+}
+
+// cut detaches nd from its parent p and moves it to the root list.
+func (h *Heap) cut(nd, p *node) {
+	if nd.right == nd {
+		p.child = nil
+	} else {
+		nd.left.right = nd.right
+		nd.right.left = nd.left
+		if p.child == nd {
+			p.child = nd.right
+		}
+	}
+	p.degree--
+	nd.mark = false
+	nd.left = nd
+	nd.right = nd
+	h.addToRoots(nd)
+}
+
+// cascadingCut walks up marking/cutting ancestors per the standard scheme.
+func (h *Heap) cascadingCut(nd *node) {
+	for {
+		p := nd.parent
+		if p == nil {
+			return
+		}
+		if !nd.mark {
+			nd.mark = true
+			return
+		}
+		h.cut(nd, p)
+		nd = p
+	}
+}

@@ -1,0 +1,199 @@
+package fibheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHeap(t *testing.T) {
+	h := New(10)
+	if h.Len() != 0 {
+		t.Errorf("Len = %d, want 0", h.Len())
+	}
+	if _, ok := h.Min(); ok {
+		t.Error("Min on empty heap returned ok")
+	}
+	if _, ok := h.ExtractMin(); ok {
+		t.Error("ExtractMin on empty heap returned ok")
+	}
+}
+
+func TestInsertExtractSorted(t *testing.T) {
+	h := New(100)
+	keys := []float64{5, 3, 8, 1, 9, 2, 7, 0, 6, 4}
+	for i, k := range keys {
+		h.Insert(i, k)
+	}
+	var got []float64
+	for {
+		item, ok := h.ExtractMin()
+		if !ok {
+			break
+		}
+		got = append(got, keys[item])
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("extraction order not sorted: %v", got)
+	}
+	if len(got) != len(keys) {
+		t.Errorf("extracted %d items, want %d", len(got), len(keys))
+	}
+}
+
+func TestDecreaseKeyReordersMin(t *testing.T) {
+	h := New(10)
+	h.Insert(0, 10)
+	h.Insert(1, 20)
+	h.Insert(2, 30)
+	h.DecreaseKey(2, 5)
+	if item, _ := h.Min(); item != 2 {
+		t.Errorf("Min = %d, want 2 after DecreaseKey", item)
+	}
+	if got := h.Key(2); got != 5 {
+		t.Errorf("Key(2) = %g, want 5", got)
+	}
+}
+
+func TestDecreaseKeyDeepCascade(t *testing.T) {
+	// Build enough structure that consolidation creates trees, then
+	// decrease keys of buried nodes.
+	h := New(1000)
+	for i := 0; i < 1000; i++ {
+		h.Insert(i, float64(i))
+	}
+	// Force consolidation.
+	if item, _ := h.ExtractMin(); item != 0 {
+		t.Fatalf("first min = %d, want 0", item)
+	}
+	// Decrease many non-root keys below everything.
+	for i := 999; i >= 500; i-- {
+		h.DecreaseKey(i, float64(-i))
+	}
+	prev := -1e18
+	for {
+		item, ok := h.ExtractMin()
+		if !ok {
+			break
+		}
+		k := float64(item)
+		if item >= 500 {
+			k = float64(-item)
+		}
+		if k < prev {
+			t.Fatalf("extraction out of order: %g after %g", k, prev)
+		}
+		prev = k
+	}
+}
+
+func TestContains(t *testing.T) {
+	h := New(5)
+	h.Insert(3, 1.5)
+	if !h.Contains(3) {
+		t.Error("Contains(3) = false after insert")
+	}
+	if h.Contains(2) {
+		t.Error("Contains(2) = true, never inserted")
+	}
+	h.ExtractMin()
+	if h.Contains(3) {
+		t.Error("Contains(3) = true after extraction")
+	}
+}
+
+func TestInsertOrDecrease(t *testing.T) {
+	h := New(5)
+	if !h.InsertOrDecrease(1, 10) {
+		t.Error("first InsertOrDecrease returned false")
+	}
+	if h.InsertOrDecrease(1, 20) {
+		t.Error("InsertOrDecrease with larger key returned true")
+	}
+	if !h.InsertOrDecrease(1, 5) {
+		t.Error("InsertOrDecrease with smaller key returned false")
+	}
+	if got := h.Key(1); got != 5 {
+		t.Errorf("Key = %g, want 5", got)
+	}
+}
+
+func TestDuplicateInsertPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate insert did not panic")
+		}
+	}()
+	h := New(3)
+	h.Insert(0, 1)
+	h.Insert(0, 2)
+}
+
+func TestIncreaseKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("key increase did not panic")
+		}
+	}()
+	h := New(3)
+	h.Insert(0, 1)
+	h.DecreaseKey(0, 2)
+}
+
+// TestQuickHeapsort compares against sort over random inputs, including
+// random interleaved decrease-key operations.
+func TestQuickHeapsort(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		h := New(n)
+		keys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			keys[i] = rng.Float64() * 100
+			h.Insert(i, keys[i])
+		}
+		// Random decrease-keys.
+		for j := 0; j < n/2; j++ {
+			i := rng.Intn(n)
+			nk := keys[i] - rng.Float64()*50
+			keys[i] = nk
+			h.DecreaseKey(i, nk)
+		}
+		want := append([]float64(nil), keys...)
+		sort.Float64s(want)
+		for idx := 0; idx < n; idx++ {
+			item, ok := h.ExtractMin()
+			if !ok {
+				return false
+			}
+			if keys[item] != want[idx] {
+				return false
+			}
+		}
+		_, ok := h.ExtractMin()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertExtract(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 1024
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := New(n)
+		for j := 0; j < n; j++ {
+			h.Insert(j, keys[j])
+		}
+		for j := 0; j < n; j++ {
+			h.ExtractMin()
+		}
+	}
+}

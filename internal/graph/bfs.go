@@ -1,0 +1,251 @@
+package graph
+
+// BFSResult holds the outcome of a breadth-first search.
+type BFSResult struct {
+	// Dist[n] is the hop distance from the source, or -1 if unreachable.
+	Dist []int32
+	// Parent[n] is the channel (parent(n), n) used to reach n, or
+	// NoChannel for the source and unreachable nodes.
+	Parent []ChannelID
+	// Order lists reached nodes in visit order, starting with the source.
+	Order []NodeID
+}
+
+// BFS runs a breadth-first search from src over non-failed channels.
+func BFS(g *Network, src NodeID) *BFSResult {
+	n := g.NumNodes()
+	res := &BFSResult{
+		Dist:   make([]int32, n),
+		Parent: make([]ChannelID, n),
+		Order:  make([]NodeID, 0, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = NoChannel
+	}
+	res.Dist[src] = 0
+	res.Order = append(res.Order, src)
+	for head := 0; head < len(res.Order); head++ {
+		u := res.Order[head]
+		for _, c := range g.Out(u) {
+			v := g.Channel(c).To
+			if res.Dist[v] < 0 {
+				res.Dist[v] = res.Dist[u] + 1
+				res.Parent[v] = c
+				res.Order = append(res.Order, v)
+			}
+		}
+	}
+	return res
+}
+
+// Connected reports whether all nodes that have at least one channel are
+// mutually reachable. Isolated stubs (e.g. a failed switch with all
+// channels removed) are ignored.
+func Connected(g *Network) bool {
+	var src NodeID = NoNode
+	active := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Degree(NodeID(i)) > 0 {
+			active++
+			if src == NoNode {
+				src = NodeID(i)
+			}
+		}
+	}
+	if active == 0 {
+		return true
+	}
+	res := BFS(g, src)
+	reached := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Degree(NodeID(i)) > 0 && res.Dist[i] >= 0 {
+			reached++
+		}
+	}
+	return reached == active
+}
+
+// Diameter returns the maximum finite hop distance between any pair of
+// connected nodes. O(N * (N + C)); intended for tests and small networks.
+func Diameter(g *Network) int {
+	max := 0
+	for i := 0; i < g.NumNodes(); i++ {
+		src := NodeID(i)
+		if g.Degree(src) == 0 {
+			continue
+		}
+		res := BFS(g, src)
+		for _, d := range res.Dist {
+			if int(d) > max {
+				max = int(d)
+			}
+		}
+	}
+	return max
+}
+
+// SpanningTree computes a BFS spanning tree of g rooted at root. It
+// returns tree[n] = channel (parent(n), n) for every reached node, with
+// tree[root] = NoChannel, plus the visit order. The "spanning tree" is
+// over duplex links: if (p,n) is a tree channel, its reverse (n,p) is a
+// tree channel too (callers query via IsTreeChannel on the returned Tree).
+func SpanningTree(g *Network, root NodeID) *Tree {
+	res := BFS(g, root)
+	t := &Tree{
+		g:      g,
+		Root:   root,
+		Parent: res.Parent,
+		Dist:   res.Dist,
+		Order:  res.Order,
+		member: make([]bool, g.NumChannels()),
+	}
+	for _, n := range res.Order {
+		if c := res.Parent[n]; c != NoChannel {
+			t.member[c] = true
+			t.member[g.Channel(c).Reverse] = true
+		}
+	}
+	return t
+}
+
+// Tree is a rooted spanning tree of a Network.
+type Tree struct {
+	g    *Network
+	Root NodeID
+	// Parent[n] is the channel (parent(n), n), NoChannel for root and
+	// unreached nodes.
+	Parent []ChannelID
+	// Dist[n] is the depth of n, -1 if unreached.
+	Dist []int32
+	// Order is a BFS order (parents precede children).
+	Order []NodeID
+	// member marks tree channels, both directions of every tree link.
+	member []bool
+}
+
+// IsTreeChannel reports whether channel c belongs to the tree (in either
+// direction of its duplex link).
+func (t *Tree) IsTreeChannel(c ChannelID) bool { return t.member[c] }
+
+// ParentNode returns the parent of n in the tree, or NoNode for the root
+// and unreached nodes.
+func (t *Tree) ParentNode(n NodeID) NodeID {
+	c := t.Parent[n]
+	if c == NoChannel {
+		return NoNode
+	}
+	return t.g.Channel(c).From
+}
+
+// PathToRoot returns the channels of the tree path n -> root, in travel
+// order (each channel directed toward the root).
+func (t *Tree) PathToRoot(n NodeID) []ChannelID {
+	var path []ChannelID
+	for t.Parent[n] != NoChannel {
+		down := t.Parent[n] // (parent, n)
+		up := t.g.Channel(down).Reverse
+		path = append(path, up)
+		n = t.g.Channel(down).From
+	}
+	return path
+}
+
+// TreePath returns the channels of the unique tree path from a to b, in
+// travel order. Returns nil if either node is unreached.
+func (t *Tree) TreePath(a, b NodeID) []ChannelID {
+	if t.Dist[a] < 0 || t.Dist[b] < 0 {
+		return nil
+	}
+	if a == b {
+		return []ChannelID{}
+	}
+	// Lift both endpoints to their lowest common ancestor.
+	var upA []ChannelID   // channels a -> lca (travel order)
+	var downB []ChannelID // channels b -> lca direction; reversed later
+	x, y := a, b
+	for t.Dist[x] > t.Dist[y] {
+		down := t.Parent[x]
+		upA = append(upA, t.g.Channel(down).Reverse)
+		x = t.g.Channel(down).From
+	}
+	for t.Dist[y] > t.Dist[x] {
+		down := t.Parent[y]
+		downB = append(downB, down)
+		y = t.g.Channel(down).From
+	}
+	for x != y {
+		dx, dy := t.Parent[x], t.Parent[y]
+		upA = append(upA, t.g.Channel(dx).Reverse)
+		downB = append(downB, dy)
+		x = t.g.Channel(dx).From
+		y = t.g.Channel(dy).From
+	}
+	// downB currently lists channels (parent->child) from lca side toward
+	// b in reverse travel order; append them reversed.
+	for i := len(downB) - 1; i >= 0; i-- {
+		upA = append(upA, downB[i])
+	}
+	return upA
+}
+
+// TreeFromParents constructs a Tree from an explicit parent assignment:
+// parent[n] must be a channel (p, n) for every non-root node n of the
+// tree, and NoChannel for the root (and for nodes outside the tree). Used
+// to reproduce specific spanning trees, e.g. the paper's figures.
+func TreeFromParents(g *Network, root NodeID, parent []ChannelID) *Tree {
+	t := &Tree{
+		g:      g,
+		Root:   root,
+		Parent: parent,
+		Dist:   make([]int32, g.NumNodes()),
+		member: make([]bool, g.NumChannels()),
+	}
+	for i := range t.Dist {
+		t.Dist[i] = -1
+	}
+	// Compute depths by chasing parents (memoized).
+	var depth func(n NodeID) int32
+	depth = func(n NodeID) int32 {
+		if t.Dist[n] >= 0 {
+			return t.Dist[n]
+		}
+		if n == root {
+			t.Dist[n] = 0
+			return 0
+		}
+		c := parent[n]
+		if c == NoChannel {
+			return -1
+		}
+		d := depth(g.Channel(c).From)
+		if d < 0 {
+			return -1
+		}
+		t.Dist[n] = d + 1
+		return t.Dist[n]
+	}
+	for n := 0; n < g.NumNodes(); n++ {
+		depth(NodeID(n))
+	}
+	// BFS-like order: sort by depth.
+	for d := int32(0); ; d++ {
+		found := false
+		for n := 0; n < g.NumNodes(); n++ {
+			if t.Dist[n] == d {
+				t.Order = append(t.Order, NodeID(n))
+				found = true
+			}
+		}
+		if !found {
+			break
+		}
+	}
+	for _, n := range t.Order {
+		if c := parent[n]; c != NoChannel {
+			t.member[c] = true
+			t.member[g.Channel(c).Reverse] = true
+		}
+	}
+	return t
+}

@@ -1,0 +1,197 @@
+// Package metrics computes the routing-quality metrics of the paper's
+// §5.1: the edge forwarding index γ of inter-switch ports (Heydemann et
+// al.) and path-length statistics.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Gamma summarizes the edge forwarding index of a routed network: the
+// number of source->destination paths crossing each inter-switch channel.
+type Gamma struct {
+	Min, Max int
+	Avg, SD  float64
+	// PerChannel holds the raw index of every inter-switch channel
+	// (indexed densely, order unspecified).
+	PerChannel []int
+}
+
+// PathStats summarizes hop counts over all (source, destination) pairs.
+type PathStats struct {
+	Max int
+	Avg float64
+	// Hist[h] counts paths of length h.
+	Hist []int
+}
+
+// EdgeForwardingIndex computes γ over the inter-switch channels for
+// traffic from sources (nil = connected terminals) to the table's
+// destinations.
+func EdgeForwardingIndex(net *graph.Network, res *routing.Result, sources []graph.NodeID) Gamma {
+	counts := channelLoads(net, res, sources)
+	var g Gamma
+	g.Min = math.MaxInt
+	sum, sumSq, n := 0.0, 0.0, 0
+	for c := 0; c < net.NumChannels(); c++ {
+		ch := net.Channel(graph.ChannelID(c))
+		if ch.Failed || !net.IsSwitch(ch.From) || !net.IsSwitch(ch.To) {
+			continue
+		}
+		v := counts[c]
+		g.PerChannel = append(g.PerChannel, v)
+		if v < g.Min {
+			g.Min = v
+		}
+		if v > g.Max {
+			g.Max = v
+		}
+		sum += float64(v)
+		sumSq += float64(v) * float64(v)
+		n++
+	}
+	if n == 0 {
+		g.Min = 0
+		return g
+	}
+	g.Avg = sum / float64(n)
+	g.SD = math.Sqrt(sumSq/float64(n) - g.Avg*g.Avg)
+	return g
+}
+
+// PathLengths computes hop statistics for the same traffic pairs.
+func PathLengths(net *graph.Network, res *routing.Result, sources []graph.NodeID) PathStats {
+	if sources == nil {
+		sources = connectedTerminals(net)
+	}
+	var st PathStats
+	total, pairs := 0, 0
+	depth := make([]int32, net.NumNodes())
+	for _, d := range res.Table.Dests() {
+		if net.Degree(d) == 0 {
+			continue
+		}
+		walkDepths(net, res.Table, d, depth)
+		for _, s := range sources {
+			if s == d || depth[s] < 0 {
+				continue
+			}
+			h := int(depth[s])
+			total += h
+			pairs++
+			if h > st.Max {
+				st.Max = h
+			}
+			for len(st.Hist) <= h {
+				st.Hist = append(st.Hist, 0)
+			}
+			st.Hist[h]++
+		}
+	}
+	if pairs > 0 {
+		st.Avg = float64(total) / float64(pairs)
+	}
+	return st
+}
+
+// channelLoads counts, per channel, the number of (source, destination)
+// paths crossing it, using subtree accumulation per destination (the
+// tables are destination-based, so each destination induces an in-tree).
+func channelLoads(net *graph.Network, res *routing.Result, sources []graph.NodeID) []int {
+	if sources == nil {
+		sources = connectedTerminals(net)
+	}
+	isSource := make([]bool, net.NumNodes())
+	for _, s := range sources {
+		isSource[s] = true
+	}
+	counts := make([]int, net.NumChannels())
+	depth := make([]int32, net.NumNodes())
+	cnt := make([]int32, net.NumNodes())
+	order := make([]graph.NodeID, 0, net.NumNodes())
+	for _, d := range res.Table.Dests() {
+		if net.Degree(d) == 0 {
+			continue
+		}
+		walkDepths(net, res.Table, d, depth)
+		order = order[:0]
+		for n := 0; n < net.NumNodes(); n++ {
+			cnt[n] = 0
+			if depth[n] > 0 {
+				order = append(order, graph.NodeID(n))
+				if isSource[n] {
+					cnt[n] = 1
+				}
+			}
+		}
+		sort.Slice(order, func(i, j int) bool { return depth[order[i]] > depth[order[j]] })
+		for _, u := range order {
+			c := res.Table.Next(u, d)
+			if c == graph.NoChannel {
+				continue
+			}
+			counts[c] += int(cnt[u])
+			cnt[net.Channel(c).To] += cnt[u]
+		}
+	}
+	return counts
+}
+
+// walkDepths fills depth[u] = hops from u to d following the table (-1 if
+// unreachable), memoized along shared suffixes.
+func walkDepths(net *graph.Network, table *routing.Table, d graph.NodeID, depth []int32) {
+	const unknown = -2
+	for i := range depth {
+		depth[i] = unknown
+	}
+	depth[d] = 0
+	var chain []graph.NodeID
+	for n := 0; n < net.NumNodes(); n++ {
+		u := graph.NodeID(n)
+		if depth[u] != unknown {
+			continue
+		}
+		chain = chain[:0]
+		cur := u
+		for depth[cur] == unknown {
+			chain = append(chain, cur)
+			c := table.Next(cur, d)
+			if c == graph.NoChannel {
+				depth[cur] = -1
+				break
+			}
+			depth[cur] = -3 // on current chain (loop guard)
+			cur = net.Channel(c).To
+		}
+		base := depth[cur]
+		if base < 0 {
+			for _, x := range chain {
+				depth[x] = -1
+			}
+			continue
+		}
+		for i := len(chain) - 1; i >= 0; i-- {
+			base++
+			depth[chain[i]] = base
+		}
+	}
+	for i := range depth {
+		if depth[i] < 0 {
+			depth[i] = -1
+		}
+	}
+}
+
+func connectedTerminals(net *graph.Network) []graph.NodeID {
+	var out []graph.NodeID
+	for _, t := range net.Terminals() {
+		if net.Degree(t) > 0 {
+			out = append(out, t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func checkPartition(t *testing.T, dests []graph.NodeID, parts [][]graph.NodeID, k int, balanced bool) {
+	t.Helper()
+	if len(parts) != k {
+		t.Fatalf("got %d parts, want %d", len(parts), k)
+	}
+	seen := make(map[graph.NodeID]int)
+	for i, p := range parts {
+		if len(p) == 0 {
+			t.Errorf("part %d empty", i)
+		}
+		for _, n := range p {
+			if prev, dup := seen[n]; dup {
+				t.Errorf("node %d in parts %d and %d", n, prev, i)
+			}
+			seen[n] = i
+		}
+	}
+	if len(seen) != len(dests) {
+		t.Errorf("partition covers %d nodes, want %d", len(seen), len(dests))
+	}
+	for _, d := range dests {
+		if _, ok := seen[d]; !ok {
+			t.Errorf("destination %d missing from partition", d)
+		}
+	}
+	if balanced {
+		min, max := len(dests), 0
+		for _, p := range parts {
+			if len(p) < min {
+				min = len(p)
+			}
+			if len(p) > max {
+				max = len(p)
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("imbalanced partition: min %d, max %d", min, max)
+		}
+	}
+}
+
+func TestSplitStrategies(t *testing.T) {
+	tp := topology.Torus3D(4, 4, 3, 4, 1)
+	g := tp.Net
+	dests := g.Terminals()
+	for _, k := range []int{1, 2, 3, 8} {
+		for _, s := range []Strategy{Random, Clustered, MultilevelKWay} {
+			t.Run(string(s), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(5))
+				parts := Split(g, dests, k, s, rng)
+				checkPartition(t, dests, parts, k, s != Clustered)
+			})
+		}
+	}
+}
+
+func TestSplitKOne(t *testing.T) {
+	tp := topology.Ring(5, 2)
+	dests := tp.Net.Terminals()
+	parts := Split(tp.Net, dests, 1, MultilevelKWay, rand.New(rand.NewSource(1)))
+	if len(parts) != 1 || len(parts[0]) != len(dests) {
+		t.Fatalf("k=1 partition wrong: %d parts, %d dests", len(parts), len(parts[0]))
+	}
+}
+
+func TestSplitKLargerThanDests(t *testing.T) {
+	tp := topology.Ring(3, 1)
+	dests := tp.Net.Terminals() // 3 terminals
+	parts := Split(tp.Net, dests, 8, Random, rand.New(rand.NewSource(1)))
+	if len(parts) != 3 {
+		t.Fatalf("k clamped to %d, want 3", len(parts))
+	}
+	checkPartition(t, dests, parts, 3, true)
+}
+
+func TestClusteredKeepsSwitchTerminalsTogether(t *testing.T) {
+	tp := topology.Ring(8, 4)
+	g := tp.Net
+	dests := g.Terminals()
+	parts := Split(g, dests, 4, Clustered, rand.New(rand.NewSource(2)))
+	partOf := make(map[graph.NodeID]int)
+	for i, p := range parts {
+		for _, n := range p {
+			partOf[n] = i
+		}
+	}
+	bySwitch := make(map[graph.NodeID]int)
+	for _, d := range dests {
+		sw := g.TerminalSwitch(d)
+		if p, ok := bySwitch[sw]; ok {
+			if p != partOf[d] {
+				t.Errorf("terminals of switch %d split across parts %d and %d", sw, p, partOf[d])
+			}
+		} else {
+			bySwitch[sw] = partOf[d]
+		}
+	}
+}
+
+func TestKWayLocality(t *testing.T) {
+	// On a long ring, k-way partitioning should beat random on edge cut:
+	// terminals of adjacent switches should mostly share a part.
+	tp := topology.Ring(32, 2)
+	g := tp.Net
+	dests := g.Terminals()
+	rng := rand.New(rand.NewSource(9))
+	kway := Split(g, dests, 4, MultilevelKWay, rng)
+	random := Split(g, dests, 4, Random, rand.New(rand.NewSource(9)))
+	cut := func(parts [][]graph.NodeID) int {
+		partOf := make(map[graph.NodeID]int)
+		for i, p := range parts {
+			for _, n := range p {
+				partOf[g.TerminalSwitch(n)] = i
+			}
+		}
+		c := 0
+		for i := 0; i < 32; i++ {
+			if partOf[graph.NodeID(i)] != partOf[graph.NodeID((i+1)%32)] {
+				c++
+			}
+		}
+		return c
+	}
+	if ck, cr := cut(kway), cut(random); ck > cr {
+		t.Errorf("k-way cut %d worse than random cut %d", ck, cr)
+	}
+}
+
+func TestSplitDeterministicPerSeed(t *testing.T) {
+	tp := topology.Torus3D(3, 3, 2, 3, 1)
+	dests := tp.Net.Terminals()
+	a := Split(tp.Net, dests, 4, MultilevelKWay, rand.New(rand.NewSource(7)))
+	b := Split(tp.Net, dests, 4, MultilevelKWay, rand.New(rand.NewSource(7)))
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("part %d sizes differ: %d vs %d", i, len(a[i]), len(b[i]))
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("part %d element %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestQuickPartitionInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 6 + rng.Intn(20)
+		tp := topology.RandomTopology(rng, n, n-1+rng.Intn(n), 1+rng.Intn(3))
+		g := tp.Net
+		dests := g.Terminals()
+		k := 1 + rng.Intn(8)
+		parts := Split(g, dests, k, MultilevelKWay, rng)
+		seen := make(map[graph.NodeID]bool)
+		total := 0
+		for _, p := range parts {
+			if len(p) == 0 {
+				return false
+			}
+			for _, d := range p {
+				if seen[d] {
+					return false
+				}
+				seen[d] = true
+				total++
+			}
+		}
+		return total == len(dests)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,268 @@
+// Package dfsssp implements the deadlock-free single-source shortest-path
+// routing of Domke, Hoefler, Nagel (IPDPS'11): balanced shortest-path
+// tables (SSSP) followed by an iterative deadlock-removal phase that
+// searches each virtual layer's induced channel dependency graph for
+// cycles and moves the paths inducing a weakest cycle edge to the next
+// layer. DFSSSP fails — returns an error — when the required number of
+// layers exceeds the virtual-channel budget, which is exactly the
+// limitation Nue removes (paper §5.3).
+package dfsssp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/routing/minhop"
+)
+
+// Engine is the DFSSSP routing engine.
+type Engine struct{}
+
+// Name implements routing.Engine.
+func (Engine) Name() string { return "dfsssp" }
+
+// pair is one (source, destination) path unit moved between layers.
+type pair struct {
+	src, dst graph.NodeID
+	layer    uint8
+	path     []graph.ChannelID
+}
+
+// Route implements routing.Engine.
+func (Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {
+	if maxVCs < 1 {
+		return nil, errors.New("dfsssp: need at least one virtual channel")
+	}
+	table := routing.NewTable(net, dests)
+	minhop.Trees(net, dests, table, nil)
+
+	// Paths are tracked per (source switch, destination): terminals of a
+	// switch share its path exactly (their injection channel adds only
+	// acyclic-safe dependencies), so switch granularity is both faithful
+	// and ~terminals-per-switch times cheaper.
+	sources := sourceSwitches(net)
+	pairs, err := collectPairs(net, table, sources, dests)
+	if err != nil {
+		return nil, fmt.Errorf("dfsssp: %w", err)
+	}
+
+	// Deadlock-removal phase: per layer, maintain dependency-edge counts
+	// incrementally while cycles are broken by moving the paths of the
+	// weakest cycle edge to the next layer.
+	moved := 0
+	for layer := 0; ; layer++ {
+		lc := newLayerCounts(net, pairs, uint8(layer))
+		if lc.pairsInLayer == 0 {
+			break
+		}
+		for {
+			cyc := lc.findCycle()
+			if cyc == nil {
+				break
+			}
+			if layer+1 >= maxVCs {
+				return nil, fmt.Errorf("dfsssp: cyclic dependencies remain in layer %d; required VCs exceed the limit of %d", layer, maxVCs)
+			}
+			weak := lc.weakestEdge(cyc)
+			for _, pi := range weak.paths {
+				p := &pairs[pi]
+				if p.layer != uint8(layer) {
+					continue
+				}
+				p.layer = uint8(layer + 1)
+				lc.removePath(p.path)
+				moved++
+			}
+		}
+	}
+
+	pairLayer := make([][]uint8, net.NumNodes())
+	for n := range pairLayer {
+		pairLayer[n] = make([]uint8, len(dests))
+	}
+	vcs := 1
+	for i := range pairs {
+		p := &pairs[i]
+		l := p.layer
+		di := table.DestIndex(p.dst)
+		pairLayer[p.src][di] = l
+		// Terminals attached to the source switch inherit its layer.
+		for _, c := range net.Out(p.src) {
+			if t := net.Channel(c).To; net.IsTerminal(t) {
+				pairLayer[t][di] = l
+			}
+		}
+		if int(l)+1 > vcs {
+			vcs = int(l) + 1
+		}
+	}
+	return &routing.Result{
+		Algorithm: "dfsssp",
+		Table:     table,
+		VCs:       vcs,
+		PairLayer: pairLayer,
+		Stats:     map[string]float64{"paths_moved": float64(moved)},
+	}, nil
+}
+
+// sourceSwitches returns the connected switches, the granularity at which
+// path layers are assigned.
+func sourceSwitches(net *graph.Network) []graph.NodeID {
+	var out []graph.NodeID
+	for _, s := range net.Switches() {
+		if net.Degree(s) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// collectPairs walks every source->destination path once.
+func collectPairs(net *graph.Network, table *routing.Table, sources, dests []graph.NodeID) ([]pair, error) {
+	var pairs []pair
+	for _, d := range dests {
+		if net.Degree(d) == 0 {
+			continue
+		}
+		for _, s := range sources {
+			if s == d {
+				continue
+			}
+			path, err := table.Path(s, d)
+			if err != nil {
+				// Unreachable in a disconnected component is fine.
+				if errors.Is(err, routing.ErrNoRoute) {
+					continue
+				}
+				return nil, err
+			}
+			if len(path) >= 2 {
+				pairs = append(pairs, pair{src: s, dst: d, path: path})
+			}
+		}
+	}
+	return pairs, nil
+}
+
+// layerCounts tracks one layer's induced CDG: per-channel successor
+// lists with live path counts and an edge -> paths index, so cycles can
+// be found and broken without rescanning every path.
+type layerCounts struct {
+	adj          [][]succEdge
+	pairsInLayer int
+}
+
+// succEdge is one dependency (a fixed channel -> to) with the number of
+// live layer paths over it and the indices of all paths that ever used it.
+type succEdge struct {
+	to    graph.ChannelID
+	count int32
+	paths []int32
+}
+
+func newLayerCounts(net *graph.Network, pairs []pair, layer uint8) *layerCounts {
+	lc := &layerCounts{adj: make([][]succEdge, net.NumChannels())}
+	for i := range pairs {
+		p := &pairs[i]
+		if p.layer != layer {
+			continue
+		}
+		lc.pairsInLayer++
+		for j := 0; j+1 < len(p.path); j++ {
+			a, b := p.path[j], p.path[j+1]
+			e := lc.edge(a, b)
+			e.count++
+			e.paths = append(e.paths, int32(i))
+		}
+	}
+	return lc
+}
+
+// edge returns (creating if needed) the successor entry for (a, b).
+func (lc *layerCounts) edge(a, b graph.ChannelID) *succEdge {
+	for i := range lc.adj[a] {
+		if lc.adj[a][i].to == b {
+			return &lc.adj[a][i]
+		}
+	}
+	lc.adj[a] = append(lc.adj[a], succEdge{to: b})
+	return &lc.adj[a][len(lc.adj[a])-1]
+}
+
+// removePath decrements the edge counts of a path that left the layer.
+func (lc *layerCounts) removePath(path []graph.ChannelID) {
+	for j := 0; j+1 < len(path); j++ {
+		lc.edge(path[j], path[j+1]).count--
+	}
+}
+
+// weakestEdge returns the cycle edge with the fewest remaining paths.
+func (lc *layerCounts) weakestEdge(cyc [][2]graph.ChannelID) *succEdge {
+	best := lc.edge(cyc[0][0], cyc[0][1])
+	for _, e := range cyc[1:] {
+		if cand := lc.edge(e[0], e[1]); cand.count < best.count {
+			best = cand
+		}
+	}
+	return best
+}
+
+// findCycle returns one dependency cycle of the remaining (count > 0)
+// edges as consecutive channel pairs, or nil if the layer is acyclic.
+func (lc *layerCounts) findCycle() [][2]graph.ChannelID {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	nc := len(lc.adj)
+	color := make([]int8, nc)
+	parent := make([]graph.ChannelID, nc)
+	type frame struct {
+		c  graph.ChannelID
+		ix int
+	}
+	var stack []frame
+	for root := 0; root < nc; root++ {
+		if color[root] != white || len(lc.adj[root]) == 0 {
+			continue
+		}
+		stack = stack[:0]
+		stack = append(stack, frame{graph.ChannelID(root), 0})
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			succ := lc.adj[f.c]
+			if f.ix >= len(succ) {
+				color[f.c] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			e := &succ[f.ix]
+			f.ix++
+			if e.count <= 0 {
+				continue // all paths over this dependency left the layer
+			}
+			next := e.to
+			switch color[next] {
+			case white:
+				color[next] = gray
+				parent[next] = f.c
+				stack = append(stack, frame{next, 0})
+			case gray:
+				// Back edge f.c -> next closes a cycle.
+				var cyc [][2]graph.ChannelID
+				cur := f.c
+				for cur != next {
+					cyc = append(cyc, [2]graph.ChannelID{parent[cur], cur})
+					cur = parent[cur]
+				}
+				cyc = append(cyc, [2]graph.ChannelID{f.c, next})
+				return cyc
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+// Package ftree implements fat-tree routing in the spirit of Zahavi et
+// al.: upward port selection spreads destinations across uplinks, the
+// downward phase follows the unique ancestor paths. Paths take at most one
+// up-phase and one down-phase, so the induced CDG is acyclic with a single
+// layer. The engine requires level metadata (topology.TreeMeta) and
+// refuses networks where up-routing cannot reach an ancestor of the
+// destination — i.e. it is topology-aware, exactly like OpenSM's ftree,
+// and "fails" on non-fat-trees (paper Fig. 10 marks such combinations
+// inapplicable).
+package ftree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/fibheap"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Engine is the fat-tree routing engine. Level maps every switch to its
+// tier (0 = leaf).
+type Engine struct {
+	Level map[graph.NodeID]int
+}
+
+// Name implements routing.Engine.
+func (Engine) Name() string { return "ftree" }
+
+// Route implements routing.Engine. The result uses a single layer.
+func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {
+	if maxVCs < 1 {
+		return nil, errors.New("ftree: need at least one virtual channel")
+	}
+	if e.Level == nil {
+		return nil, errors.New("ftree: level metadata required (not a generated fat tree)")
+	}
+	table := routing.NewTable(net, dests)
+	unroutedRows := 0
+	n := net.NumNodes()
+	downDist := make([]float64, n)
+	downNext := make([]graph.ChannelID, n)
+	h := fibheap.New(n)
+
+	level := func(x graph.NodeID) int {
+		if l, ok := e.Level[x]; ok {
+			return l
+		}
+		return -1 // terminal
+	}
+
+	for _, d := range dests {
+		if net.Degree(d) == 0 {
+			continue
+		}
+		att := d
+		if net.IsTerminal(d) {
+			att = net.TerminalSwitch(d)
+		}
+		// Ancestor pass: climb from the attachment switch along up
+		// channels; every switch reached is an ancestor and routes down
+		// along the discovered channel. Dijkstra handles windowed Clos
+		// topologies where parallel uplinks differ.
+		for i := 0; i < n; i++ {
+			downDist[i] = math.Inf(1)
+			downNext[i] = graph.NoChannel
+		}
+		downDist[att] = 0
+		h.InsertOrDecrease(int(att), 0)
+		for {
+			item, ok := h.ExtractMin()
+			if !ok {
+				break
+			}
+			v := graph.NodeID(item)
+			for _, c := range net.In(v) { // c = (u, v): u descends via c
+				u := net.Channel(c).From
+				if level(u) <= level(v) || !net.IsSwitch(u) {
+					continue // only true ancestors (strictly higher tier)
+				}
+				if nd := downDist[v] + 1; nd < downDist[u] {
+					downDist[u] = nd
+					downNext[u] = c
+					h.InsertOrDecrease(int(u), nd)
+				}
+			}
+		}
+		// Table: ancestors go down; everyone else goes up toward the
+		// nearest ancestor, spreading by destination ID.
+		for _, s := range net.Switches() {
+			if s == d || net.Degree(s) == 0 {
+				continue
+			}
+			if s == att && net.IsTerminal(d) {
+				table.Set(s, d, net.FindChannel(s, d))
+				continue
+			}
+			if downNext[s] != graph.NoChannel {
+				table.Set(s, d, downNext[s])
+				continue
+			}
+			up, err := upChoice(net, s, d, level, downDist)
+			if err != nil {
+				// Like OpenSM's ftree, switch-to-switch rows that have no
+				// legal up/down path are omitted (terminal traffic never
+				// needs them; it enters at a leaf below a common
+				// ancestor). The attachment switch itself must route.
+				if s == att {
+					return nil, fmt.Errorf("ftree: switch %d toward %d: %w", s, d, err)
+				}
+				unroutedRows++
+				continue
+			}
+			table.Set(s, d, up)
+		}
+	}
+	return &routing.Result{
+		Algorithm: "ftree",
+		Table:     table,
+		VCs:       1,
+		Stats:     map[string]float64{"unrouted_switch_rows": float64(unroutedRows)},
+	}, nil
+}
+
+// upChoice picks the upward channel at non-ancestor switch s toward
+// destination d: among up neighbors that are ancestors (finite downDist),
+// spread by destination ID; if none is an ancestor, spread over all up
+// channels (legal for full k-ary n-trees where every root is a common
+// ancestor), and fail if there is no up channel at all.
+func upChoice(net *graph.Network, s, d graph.NodeID, level func(graph.NodeID) int, downDist []float64) (graph.ChannelID, error) {
+	var ancestors, ups []graph.ChannelID
+	for _, c := range net.Out(s) {
+		v := net.Channel(c).To
+		if !net.IsSwitch(v) || level(v) <= level(s) {
+			continue
+		}
+		ups = append(ups, c)
+		if !math.IsInf(downDist[v], 1) {
+			ancestors = append(ancestors, c)
+		}
+	}
+	if len(ancestors) > 0 {
+		return ancestors[int(d)%len(ancestors)], nil
+	}
+	if len(ups) > 0 {
+		return ups[int(d)%len(ups)], nil
+	}
+	return graph.NoChannel, errors.New("no upward channel; topology is not a routable fat tree")
+}

@@ -1,0 +1,131 @@
+package routing
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func ringTable(t *testing.T) (*topology.Topology, *Table) {
+	t.Helper()
+	tp := topology.Ring(4, 1) // switches 0..3, terminals 4..7
+	g := tp.Net
+	tbl := NewTable(g, g.Terminals())
+	// Route clockwise to every terminal.
+	for _, d := range g.Terminals() {
+		att := g.TerminalSwitch(d)
+		for _, s := range g.Switches() {
+			if s == att {
+				tbl.Set(s, d, g.FindChannel(s, d))
+			} else {
+				tbl.Set(s, d, g.FindChannel(s, (s+1)%4))
+			}
+		}
+	}
+	return tp, tbl
+}
+
+func TestTableNextAndPath(t *testing.T) {
+	tp, tbl := ringTable(t)
+	g := tp.Net
+	// Terminal 4 (at switch 0) to terminal 6 (at switch 2): 4 hops.
+	p, err := tbl.Path(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 4 {
+		t.Errorf("path length = %d, want 4", len(p))
+	}
+	if g.Channel(p[0]).From != 4 || g.Channel(p[len(p)-1]).To != 6 {
+		t.Error("path endpoints wrong")
+	}
+}
+
+func TestTablePathSelf(t *testing.T) {
+	_, tbl := ringTable(t)
+	p, err := tbl.Path(4, 4)
+	if err != nil || p != nil {
+		t.Errorf("Path(self) = %v, %v; want nil, nil", p, err)
+	}
+}
+
+func TestTableNoRoute(t *testing.T) {
+	tp := topology.Ring(4, 1)
+	g := tp.Net
+	tbl := NewTable(g, g.Terminals())
+	_, err := tbl.Path(4, 6)
+	if !errors.Is(err, ErrNoRoute) {
+		t.Errorf("err = %v, want ErrNoRoute", err)
+	}
+}
+
+func TestTableLoopDetected(t *testing.T) {
+	tp := topology.Ring(4, 1)
+	g := tp.Net
+	tbl := NewTable(g, g.Terminals())
+	// All switches forward clockwise forever (never exit to terminal 6).
+	for _, s := range g.Switches() {
+		tbl.Set(s, 6, g.FindChannel(s, (s+1)%4))
+	}
+	_, err := tbl.Path(4, 6)
+	if !errors.Is(err, ErrRoutingLoop) {
+		t.Errorf("err = %v, want ErrRoutingLoop", err)
+	}
+}
+
+func TestTableTerminalImplicitNext(t *testing.T) {
+	tp, tbl := ringTable(t)
+	g := tp.Net
+	c := tbl.Next(4, 6)
+	if c == graph.NoChannel || g.Channel(c).From != 4 {
+		t.Error("terminal next hop should be its unique channel")
+	}
+}
+
+func TestResultLayerResolution(t *testing.T) {
+	tp, tbl := ringTable(t)
+	g := tp.Net
+	dests := g.Terminals()
+	// Destination-layered.
+	dl := &Result{Table: tbl, VCs: 2, DestLayer: []uint8{0, 1, 0, 1}}
+	if got := dl.Layer(4, dests[1]); got != 1 {
+		t.Errorf("DestLayer lookup = %d, want 1", got)
+	}
+	// Pair-layered.
+	pl := &Result{Table: tbl, VCs: 2, PairLayer: make([][]uint8, g.NumNodes())}
+	for i := range pl.PairLayer {
+		pl.PairLayer[i] = make([]uint8, len(dests))
+	}
+	pl.PairLayer[4][tbl.DestIndex(dests[2])] = 1
+	if got := pl.Layer(4, dests[2]); got != 1 {
+		t.Errorf("PairLayer lookup = %d, want 1", got)
+	}
+	if got := pl.Layer(5, dests[2]); got != 0 {
+		t.Errorf("PairLayer lookup = %d, want 0", got)
+	}
+	// Single layer.
+	sl := &Result{Table: tbl, VCs: 1}
+	if got := sl.Layer(4, dests[0]); got != 0 {
+		t.Errorf("single-layer lookup = %d, want 0", got)
+	}
+}
+
+func TestSetPanicsOnBadArgs(t *testing.T) {
+	tp, tbl := ringTable(t)
+	g := tp.Net
+	for name, fn := range map[string]func(){
+		"non-switch row":  func() { tbl.Set(4, 6, g.FindChannel(4, 0)) },
+		"non-dest column": func() { tbl.Set(0, 1, g.FindChannel(0, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,317 @@
+// Package verify mechanically checks the correctness properties of a
+// routing result (the paper's Lemmas 1-3, for Nue and every baseline):
+//
+//   - Connectivity: a valid path exists from every source to every
+//     destination in the same network component (Lemma 3).
+//   - Cycle-free, destination-based paths: following the tables never
+//     revisits a node (Lemma 1; the destination-based property holds by
+//     construction of routing.Table, uniqueness per (node, destination)).
+//   - Deadlock freedom: the dependency graph over virtual channels
+//     (channel, VL) induced by all source->destination paths is acyclic
+//     (Theorem 1 / Lemma 2). Per-hop VL selection via SL2VL mappings is
+//     supported, so Torus-2QoS-style dateline schemes verify exactly.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Report summarizes a verification run.
+type Report struct {
+	// Pairs is the number of (source, destination) pairs checked.
+	Pairs int
+	// MaxHops is the longest path encountered.
+	MaxHops int
+	// Deps counts distinct dependency edges over (channel, VL) vertices.
+	Deps int
+	// DeadlockFree is true when the induced dependency graph is acyclic.
+	DeadlockFree bool
+	// CyclicVLs lists the virtual lanes of vertices involved in cycles.
+	CyclicVLs []int
+}
+
+// Check runs all verifications for the given sources (nil = all
+// terminals, or all connected nodes if the network has no terminals) and
+// returns an error describing the first violated property.
+func Check(net *graph.Network, res *routing.Result, sources []graph.NodeID) (*Report, error) {
+	if sources == nil {
+		sources = defaultSources(net)
+	}
+	rep := &Report{}
+	if err := checkConnectivity(net, res, sources, rep); err != nil {
+		return rep, err
+	}
+	if err := checkDeadlockFree(net, res, sources, rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+func defaultSources(net *graph.Network) []graph.NodeID {
+	if net.NumTerminals() > 0 {
+		// Keep only connected terminals (fault injection may orphan some).
+		var out []graph.NodeID
+		for _, t := range net.Terminals() {
+			if net.Degree(t) > 0 {
+				out = append(out, t)
+			}
+		}
+		return out
+	}
+	var out []graph.NodeID
+	for n := 0; n < net.NumNodes(); n++ {
+		if net.Degree(graph.NodeID(n)) > 0 {
+			out = append(out, graph.NodeID(n))
+		}
+	}
+	return out
+}
+
+// checkConnectivity walks every (source, destination) path.
+func checkConnectivity(net *graph.Network, res *routing.Result, sources []graph.NodeID, rep *Report) error {
+	for _, d := range res.Table.Dests() {
+		if net.Degree(d) == 0 {
+			continue // destination disconnected by faults
+		}
+		reach := graph.BFS(net, d)
+		for _, s := range sources {
+			if s == d {
+				continue
+			}
+			if reach.Dist[s] < 0 {
+				continue // different component; no path required
+			}
+			p, err := res.PathFor(s, d)
+			if err != nil {
+				return fmt.Errorf("verify: path %d -> %d: %w", s, d, err)
+			}
+			if err := validPath(net, p, s, d); err != nil {
+				return fmt.Errorf("verify: path %d -> %d: %w", s, d, err)
+			}
+			rep.Pairs++
+			if len(p) > rep.MaxHops {
+				rep.MaxHops = len(p)
+			}
+		}
+	}
+	return nil
+}
+
+// validPath checks continuity, endpoints and node-cycle freedom of an
+// explicit path (table walks enforce this implicitly; PairPath overrides
+// must be checked).
+func validPath(net *graph.Network, p []graph.ChannelID, s, d graph.NodeID) error {
+	if len(p) == 0 {
+		if s == d {
+			return nil
+		}
+		return fmt.Errorf("empty path")
+	}
+	if net.Channel(p[0]).From != s {
+		return fmt.Errorf("starts at node %d", net.Channel(p[0]).From)
+	}
+	if net.Channel(p[len(p)-1]).To != d {
+		return fmt.Errorf("ends at node %d", net.Channel(p[len(p)-1]).To)
+	}
+	seen := map[graph.NodeID]bool{s: true}
+	for i, c := range p {
+		ch := net.Channel(c)
+		if ch.Failed {
+			return fmt.Errorf("uses failed channel %d", c)
+		}
+		if i > 0 && net.Channel(p[i-1]).To != ch.From {
+			return fmt.Errorf("discontinuous at hop %d", i)
+		}
+		if seen[ch.To] {
+			return fmt.Errorf("revisits node %d", ch.To)
+		}
+		seen[ch.To] = true
+	}
+	return nil
+}
+
+// checkDeadlockFree builds the virtual-channel dependency graph induced by
+// all paths and checks it for cycles.
+func checkDeadlockFree(net *graph.Network, res *routing.Result, sources []graph.NodeID, rep *Report) error {
+	vcs := res.VCs
+	if vcs < 1 {
+		vcs = 1
+	}
+	adj, deps := InducedCDG(net, res, sources)
+	rep.Deps = deps
+	cyclic := cyclicVertices(net.NumChannels()*vcs, adj)
+	if len(cyclic) == 0 {
+		rep.DeadlockFree = true
+		return nil
+	}
+	vlSet := map[int]bool{}
+	for _, v := range cyclic {
+		vlSet[int(v)%vcs] = true
+	}
+	for vl := range vlSet {
+		rep.CyclicVLs = append(rep.CyclicVLs, vl)
+	}
+	sort.Ints(rep.CyclicVLs)
+	return fmt.Errorf("verify: cyclic channel dependency graph on VLs %v (deadlock possible)", rep.CyclicVLs)
+}
+
+// InducedCDG builds the dependency graph over virtual-channel vertices
+// (channel*VCs + vl) induced by the actual traffic paths from sources to
+// the table's destinations. It returns the adjacency and the number of
+// distinct dependency edges.
+func InducedCDG(net *graph.Network, res *routing.Result, sources []graph.NodeID) ([][]int32, int) {
+	vcs := res.VCs
+	if vcs < 1 {
+		vcs = 1
+	}
+	nv := net.NumChannels() * vcs
+	adj := make([][]int32, nv)
+	seen := make([]map[int32]bool, nv)
+	deps := 0
+	addDep := func(a, b int32) {
+		m := seen[a]
+		if m == nil {
+			m = make(map[int32]bool)
+			seen[a] = m
+		}
+		if !m[b] {
+			m[b] = true
+			adj[a] = append(adj[a], b)
+			deps++
+		}
+	}
+	vertex := func(c graph.ChannelID, vl uint8) int32 {
+		return int32(int(c)*vcs + int(vl))
+	}
+	// visited[sl][node] epochs avoid rewalking shared suffixes, which are
+	// identical for identical service levels.
+	visited := make(map[uint8][]int32)
+	epoch := int32(0)
+	for _, d := range res.Table.Dests() {
+		if net.Degree(d) == 0 {
+			continue
+		}
+		epoch++
+		for _, s := range sources {
+			if s == d {
+				continue
+			}
+			sl := res.Layer(s, d)
+			if res.PairPath != nil {
+				if p, ok := res.PairPath[routing.PairKey(s, d)]; ok {
+					// Explicit (source-routed) path: add its dependencies
+					// directly.
+					for i := 0; i+1 < len(p); i++ {
+						v1, v2 := res.VL(sl, p[i]), res.VL(sl, p[i+1])
+						if int(v1) >= vcs {
+							v1 = uint8(vcs - 1)
+						}
+						if int(v2) >= vcs {
+							v2 = uint8(vcs - 1)
+						}
+						addDep(vertex(p[i], v1), vertex(p[i+1], v2))
+					}
+					continue
+				}
+			}
+			vis := visited[sl]
+			if vis == nil {
+				vis = make([]int32, net.NumNodes())
+				visited[sl] = vis
+			}
+			cur := s
+			var prev graph.ChannelID = graph.NoChannel
+			var prevVL uint8
+			for steps := 0; cur != d && steps <= net.NumNodes(); steps++ {
+				c := res.Table.Next(cur, d)
+				if c == graph.NoChannel {
+					break // connectivity check reports this separately
+				}
+				vl := res.VL(sl, c)
+				if int(vl) >= vcs {
+					vl = uint8(vcs - 1)
+				}
+				if prev != graph.NoChannel {
+					addDep(vertex(prev, prevVL), vertex(c, vl))
+				}
+				if vis[cur] == epoch && prev != graph.NoChannel {
+					break // suffix from cur already recorded for this SL
+				}
+				vis[cur] = epoch
+				prev, prevVL = c, vl
+				cur = net.Channel(c).To
+			}
+		}
+	}
+	return adj, deps
+}
+
+// cyclicVertices returns the vertices left after Kahn's algorithm, i.e.
+// those participating in (or downstream-locked behind) a cycle.
+func cyclicVertices(nv int, adj [][]int32) []int32 {
+	indeg := make([]int32, nv)
+	for _, succ := range adj {
+		for _, b := range succ {
+			indeg[b]++
+		}
+	}
+	var queue []int32
+	removed := make([]bool, nv)
+	for v := 0; v < nv; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, int32(v))
+			removed[v] = true
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, b := range adj[v] {
+			indeg[b]--
+			if indeg[b] == 0 && !removed[b] {
+				removed[b] = true
+				queue = append(queue, b)
+			}
+		}
+	}
+	var cyc []int32
+	for v := 0; v < nv; v++ {
+		if !removed[v] && (len(adj[v]) > 0 || indeg[v] > 0) {
+			cyc = append(cyc, int32(v))
+		}
+	}
+	return cyc
+}
+
+// RequiredVCs reports how many distinct layers the result actually uses.
+func RequiredVCs(res *routing.Result) int {
+	used := make(map[uint8]bool)
+	switch {
+	case res.DestLayer != nil:
+		for _, l := range res.DestLayer {
+			used[l] = true
+		}
+	case res.PairLayer != nil:
+		for _, row := range res.PairLayer {
+			for _, l := range row {
+				used[l] = true
+			}
+		}
+	default:
+		return 1
+	}
+	if len(used) == 0 {
+		return 1
+	}
+	max := uint8(0)
+	for l := range used {
+		if l > max {
+			max = l
+		}
+	}
+	return int(max) + 1
+}

@@ -1,0 +1,489 @@
+// Package sim is a lossless-network simulator in the spirit of the
+// OMNeT++ flit-level toolchain the paper evaluates with: input-buffered
+// switches, virtual lanes, credit-based flow control, and deterministic
+// destination-based forwarding from a routing.Result (including SL2VL
+// mappings). Messages are segmented into packets of a few flits each, so
+// wormhole-style pipelining emerges at packet granularity; a channel
+// transmits one flit per cycle.
+//
+// The simulator is event-driven: a blocked packet schedules nothing, so a
+// deadlock manifests naturally as an empty event queue with undelivered
+// packets — the simulator detects and reports real deadlocks rather than
+// assuming the routing is safe.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Config tunes the simulation. The zero value is not usable; start from
+// DefaultConfig.
+type Config struct {
+	// PacketFlits is the number of flits per packet (a channel occupies
+	// one cycle per flit).
+	PacketFlits int
+	// MessageFlits is the message size in flits; messages are segmented
+	// into ceil(MessageFlits/PacketFlits) packets. The paper's 2 KiB
+	// messages at 64-byte flits are MessageFlits = 32.
+	MessageFlits int
+	// BufferPackets is the per-(channel, VL) input buffer capacity in
+	// packets.
+	BufferPackets int
+	// MaxCycles aborts runs that exceed this simulated time (0 = no cap).
+	MaxCycles int64
+	// PhaseBarrier, when true, injects messages phase by phase: phase p+1
+	// starts only after every phase-p message has been delivered
+	// (globally synchronized exchange, like a sequence of blocking
+	// MPI_Sendrecv rounds).
+	PhaseBarrier bool
+}
+
+// DefaultConfig returns a laptop-sized configuration: 512-byte messages
+// of 8-flit packets. Use PaperConfig for the full 2 KiB messages.
+func DefaultConfig() Config {
+	return Config{PacketFlits: 8, MessageFlits: 16, BufferPackets: 2}
+}
+
+// PaperConfig matches the paper's message size (2 KiB at 64-byte flits).
+func PaperConfig() Config {
+	return Config{PacketFlits: 8, MessageFlits: 32, BufferPackets: 2}
+}
+
+// Message is one transfer between terminals.
+type Message struct {
+	Src, Dst graph.NodeID
+	// Phase groups messages for barrier-synchronized injection (see
+	// Config.PhaseBarrier); 0-based, ignored without barriers.
+	Phase int
+}
+
+// Result summarizes a simulation run.
+type Result struct {
+	// Cycles is the makespan (time of last delivery, or time of deadlock
+	// detection).
+	Cycles int64
+	// DeliveredFlits counts payload flits that reached their destination.
+	DeliveredFlits int64
+	// DeliveredMessages counts fully delivered messages.
+	DeliveredMessages int
+	// TotalMessages is the offered load.
+	TotalMessages int
+	// Deadlocked is true when the network wedged: undelivered packets
+	// remain but no progress is possible.
+	Deadlocked bool
+	// TimedOut is true when MaxCycles was exceeded.
+	TimedOut bool
+	// FlitsPerCycle is aggregate delivered throughput.
+	FlitsPerCycle float64
+	// AvgMsgLatency and MaxMsgLatency measure cycles from a message's
+	// first flit entering the network to its tail flit delivery.
+	AvgMsgLatency, MaxMsgLatency float64
+	// AvgLinkUtilization and MaxLinkUtilization are busy-cycle fractions
+	// over the switch-to-switch channels that carried traffic.
+	AvgLinkUtilization, MaxLinkUtilization float64
+}
+
+// ThroughputGBs converts flit throughput to an aggregate GB/s figure
+// assuming QDR InfiniBand links (4 GB/s per link, 64-byte flits, so one
+// flit/cycle equals 4 GB/s).
+func (r Result) ThroughputGBs() float64 { return r.FlitsPerCycle * 4.0 }
+
+// packet is one in-flight packet.
+type packet struct {
+	dst   graph.NodeID
+	sl    uint8
+	flits int32
+	// cur is the channel whose buffer currently holds the packet
+	// (NoChannel while waiting for injection), curVL its virtual lane.
+	cur   graph.ChannelID
+	curVL uint8
+	last  bool // tail packet of its message
+	// route, if non-nil, is an explicit source route (PairPath override);
+	// hop indexes the next channel to take.
+	route []graph.ChannelID
+	hop   int32
+	// msg is the message this packet belongs to (latency accounting and
+	// phase barriers).
+	msg *msgState
+}
+
+// msgState tracks one message's lifecycle.
+type msgState struct {
+	start int64 // first flit entered the network (-1 = not yet)
+	phase int32
+}
+
+// event kinds.
+const (
+	evArrival  = iota // packet fully received at the head of a channel
+	evChanFree        // channel finished transmitting
+)
+
+type event struct {
+	time int64
+	kind int8
+	ch   graph.ChannelID
+	pkt  *packet
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].time < q[j].time }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// sim is the run state.
+type sim struct {
+	net *graph.Network
+	res *routing.Result
+	cfg Config
+	vcs int
+
+	busyUntil []int64       // per channel
+	bufCount  [][]int32     // [channel][vl] occupied packets (reserved at start)
+	bufQueue  [][][]*packet // [channel][vl] FIFO of fully arrived packets
+	outWait   [][]*packet   // per channel: FIFO of packets requesting it
+
+	events eventQueue
+	now    int64
+
+	delivered      int64
+	deliveredMsgs  int
+	totalMsgs      int
+	remainingFlits int64
+
+	// Latency and utilization accounting.
+	latencySum int64
+	latencyMax int64
+	busyCycles []int64 // per channel
+
+	// Phase barriers: pending[phase] holds packets not yet injected;
+	// phaseLeft[phase] counts undelivered messages of that phase.
+	pending   [][]*packet
+	phaseLeft []int
+	curPhase  int
+}
+
+// Run simulates the delivery of messages under the routing result and
+// returns throughput and deadlock information.
+func Run(net *graph.Network, res *routing.Result, messages []Message, cfg Config) (Result, error) {
+	if cfg.PacketFlits < 1 || cfg.MessageFlits < 1 || cfg.BufferPackets < 1 {
+		return Result{}, fmt.Errorf("sim: invalid config %+v", cfg)
+	}
+	vcs := res.VCs
+	if vcs < 1 {
+		vcs = 1
+	}
+	s := &sim{
+		net:       net,
+		res:       res,
+		cfg:       cfg,
+		vcs:       vcs,
+		busyUntil: make([]int64, net.NumChannels()),
+		bufCount:  make([][]int32, net.NumChannels()),
+		bufQueue:  make([][][]*packet, net.NumChannels()),
+		outWait:   make([][]*packet, net.NumChannels()),
+	}
+	for c := range s.bufCount {
+		s.bufCount[c] = make([]int32, vcs)
+		s.bufQueue[c] = make([][]*packet, vcs)
+	}
+	// Segment messages into packets and enqueue them on their injection
+	// channels in order (terminals serialize their own sends naturally).
+	for _, m := range messages {
+		if m.Src == m.Dst || net.Degree(m.Src) == 0 || net.Degree(m.Dst) == 0 {
+			continue
+		}
+		inj := net.Out(m.Src)[0]
+		sl := s.res.Layer(m.Src, m.Dst)
+		var route []graph.ChannelID
+		if res.PairPath != nil {
+			route = res.PairPath[routing.PairKey(m.Src, m.Dst)]
+		}
+		s.totalMsgs++
+		phase := 0
+		if cfg.PhaseBarrier && m.Phase > 0 {
+			phase = m.Phase
+		}
+		ms := &msgState{start: -1, phase: int32(phase)}
+		for len(s.phaseLeft) <= phase {
+			s.phaseLeft = append(s.phaseLeft, 0)
+			s.pending = append(s.pending, nil)
+		}
+		s.phaseLeft[phase]++
+		remaining := cfg.MessageFlits
+		for remaining > 0 {
+			f := cfg.PacketFlits
+			if f > remaining {
+				f = remaining
+			}
+			remaining -= f
+			p := &packet{dst: m.Dst, sl: sl, flits: int32(f), cur: graph.NoChannel,
+				last: remaining == 0, route: route, msg: ms}
+			s.remainingFlits += int64(f)
+			if route != nil {
+				inj = route[0]
+			}
+			if cfg.PhaseBarrier {
+				s.pending[phase] = append(s.pending[phase], p)
+				// Remember the injection channel alongside the packet.
+				p.cur = graph.NoChannel
+				p.hop = int32(inj) // reused as injection channel until injected
+			} else {
+				s.outWait[inj] = append(s.outWait[inj], p)
+			}
+		}
+	}
+	s.busyCycles = make([]int64, net.NumChannels())
+	if cfg.PhaseBarrier {
+		for ph := range s.pending {
+			if len(s.pending[ph]) > 0 {
+				s.releasePhase(ph)
+				break
+			}
+		}
+	}
+	// Prime all injection channels.
+	for c := range s.outWait {
+		if len(s.outWait[c]) > 0 {
+			s.kick(graph.ChannelID(c))
+		}
+	}
+	// Main loop.
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(event)
+		s.now = e.time
+		if cfg.MaxCycles > 0 && s.now > cfg.MaxCycles {
+			return s.result(false, true), nil
+		}
+		switch e.kind {
+		case evArrival:
+			s.arrive(e.pkt, e.ch)
+		case evChanFree:
+			s.kick(e.ch)
+		}
+	}
+	return s.result(s.delivered < s.remainingFlitsTotal(), false), nil
+}
+
+func (s *sim) remainingFlitsTotal() int64 { return s.remainingFlits }
+
+func (s *sim) result(deadlocked, timedOut bool) Result {
+	r := Result{
+		Cycles:            s.now,
+		DeliveredFlits:    s.delivered,
+		DeliveredMessages: s.deliveredMsgs,
+		TotalMessages:     s.totalMsgs,
+		Deadlocked:        deadlocked,
+		TimedOut:          timedOut,
+	}
+	if s.now > 0 {
+		r.FlitsPerCycle = float64(s.delivered) / float64(s.now)
+		used, sum, max := 0, 0.0, 0.0
+		for c := range s.busyCycles {
+			ch := s.net.Channel(graph.ChannelID(c))
+			if s.busyCycles[c] == 0 || !s.net.IsSwitch(ch.From) || !s.net.IsSwitch(ch.To) {
+				continue
+			}
+			u := float64(s.busyCycles[c]) / float64(s.now)
+			used++
+			sum += u
+			if u > max {
+				max = u
+			}
+		}
+		if used > 0 {
+			r.AvgLinkUtilization = sum / float64(used)
+			r.MaxLinkUtilization = max
+		}
+	}
+	if s.deliveredMsgs > 0 {
+		r.AvgMsgLatency = float64(s.latencySum) / float64(s.deliveredMsgs)
+		r.MaxMsgLatency = float64(s.latencyMax)
+	}
+	return r
+}
+
+// releasePhase moves a barrier phase's packets onto their injection
+// channels.
+func (s *sim) releasePhase(phase int) {
+	if phase >= len(s.pending) {
+		return
+	}
+	var kicked []graph.ChannelID
+	for _, p := range s.pending[phase] {
+		inj := graph.ChannelID(p.hop)
+		p.hop = 0
+		s.outWait[inj] = append(s.outWait[inj], p)
+		kicked = append(kicked, inj)
+	}
+	s.pending[phase] = nil
+	s.curPhase = phase
+	for _, c := range kicked {
+		s.kick(c)
+	}
+}
+
+// nextChannel returns the packet's next hop from node u, or NoChannel at
+// the destination.
+func (s *sim) nextChannel(p *packet, u graph.NodeID) graph.ChannelID {
+	if u == p.dst {
+		return graph.NoChannel
+	}
+	if p.route != nil {
+		if int(p.hop) >= len(p.route) {
+			return graph.NoChannel
+		}
+		return p.route[p.hop]
+	}
+	return s.res.Table.Next(u, p.dst)
+}
+
+// vlOn returns the packet's VL on channel c, clamped to the VC count.
+func (s *sim) vlOn(p *packet, c graph.ChannelID) uint8 {
+	vl := s.res.VL(p.sl, c)
+	if int(vl) >= s.vcs {
+		vl = uint8(s.vcs - 1)
+	}
+	return vl
+}
+
+// deliver accounts a packet's arrival at its destination.
+func (s *sim) deliver(p *packet) {
+	s.delivered += int64(p.flits)
+	if !p.last {
+		return
+	}
+	s.deliveredMsgs++
+	if p.msg != nil && p.msg.start >= 0 {
+		lat := s.now - p.msg.start
+		s.latencySum += lat
+		if lat > s.latencyMax {
+			s.latencyMax = lat
+		}
+	}
+	if s.cfg.PhaseBarrier && p.msg != nil {
+		ph := int(p.msg.phase)
+		s.phaseLeft[ph]--
+		if s.phaseLeft[ph] == 0 && ph == s.curPhase {
+			// Release the next non-empty phase.
+			for nxt := ph + 1; nxt < len(s.pending); nxt++ {
+				if len(s.pending[nxt]) > 0 {
+					s.releasePhase(nxt)
+					return
+				}
+			}
+		}
+	}
+}
+
+// kick retries the waiters of channel c: if c is idle, the first request
+// with downstream credit starts transmitting.
+func (s *sim) kick(c graph.ChannelID) {
+	if s.busyUntil[c] > s.now {
+		return
+	}
+	// Note: startOn can reenter and append new waiters to s.outWait[c]
+	// (the next buffer head may request the same channel), so the slice
+	// must be re-read on every iteration and for the removal.
+	for i := 0; i < len(s.outWait[c]); i++ {
+		if s.startOn(s.outWait[c][i], c) {
+			s.outWait[c] = append(s.outWait[c][:i], s.outWait[c][i+1:]...)
+			return
+		}
+	}
+}
+
+// startOn attempts to begin transmitting p over c; it returns false when
+// the downstream buffer has no credit. The channel must be idle.
+func (s *sim) startOn(p *packet, c graph.ChannelID) bool {
+	to := s.net.Channel(c).To
+	vl := s.vlOn(p, c)
+	if s.net.IsSwitch(to) {
+		if s.bufCount[c][vl] >= int32(s.cfg.BufferPackets) {
+			return false
+		}
+		s.bufCount[c][vl]++ // reserve the slot for the whole transfer
+	}
+	dur := int64(p.flits)
+	s.busyUntil[c] = s.now + dur
+	s.busyCycles[c] += dur
+	if p.msg != nil && p.msg.start < 0 {
+		p.msg.start = s.now // first flit of the message enters the network
+	}
+	heap.Push(&s.events, event{time: s.now + dur, kind: evChanFree, ch: c})
+	heap.Push(&s.events, event{time: s.now + dur, kind: evArrival, ch: c, pkt: p})
+	// Free the upstream buffer head: the packet's flits drain as they are
+	// transmitted; the slot itself is released on arrival (see arrive).
+	if p.cur != graph.NoChannel {
+		q := s.bufQueue[p.cur][p.curVL]
+		if len(q) == 0 || q[0] != p {
+			panic("sim: transmitting packet is not at its buffer head")
+		}
+		s.bufQueue[p.cur][p.curVL] = q[1:]
+		// The next head may request a different output immediately.
+		if len(q) > 1 {
+			s.request(q[1])
+		}
+	}
+	return true
+}
+
+// request routes packet p (fully buffered at the head of its queue) to
+// its next channel, starting immediately when possible.
+func (s *sim) request(p *packet) {
+	u := s.net.Channel(p.cur).To
+	c := s.nextChannel(p, u)
+	if c == graph.NoChannel {
+		panic(fmt.Sprintf("sim: no route at node %d toward %d", u, p.dst))
+	}
+	if s.busyUntil[c] <= s.now && s.startOn(p, c) {
+		return
+	}
+	s.outWait[c] = append(s.outWait[c], p)
+}
+
+// arrive completes a packet's transfer over channel c.
+func (s *sim) arrive(p *packet, c graph.ChannelID) {
+	// Release the upstream slot the packet occupied before this hop.
+	if p.cur != graph.NoChannel {
+		from := s.net.Channel(p.cur).To
+		_ = from
+		s.bufCount[p.cur][p.curVL]--
+		s.kick(p.cur)
+	}
+	if p.route != nil {
+		p.hop++ // advance the explicit source route
+	}
+	to := s.net.Channel(c).To
+	vl := s.vlOn(p, c)
+	if s.net.IsTerminal(to) {
+		if to != p.dst {
+			panic(fmt.Sprintf("sim: packet for %d delivered to terminal %d", p.dst, to))
+		}
+		// Ejection: terminals absorb at link rate.
+		s.deliver(p)
+		return
+	}
+	if to == p.dst {
+		s.deliver(p)
+		return
+	}
+	p.cur, p.curVL = c, vl
+	s.bufQueue[c][vl] = append(s.bufQueue[c][vl], p)
+	if len(s.bufQueue[c][vl]) == 1 {
+		s.request(p)
+	}
+}

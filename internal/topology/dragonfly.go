@@ -1,0 +1,133 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Dragonfly builds a dragonfly network after Kim et al.: g groups of a
+// switches, each switch with p terminals and h global links; switches
+// within a group form a complete graph. Every unordered pair of groups is
+// connected by floor(a*h/(g-1)) parallel global links (uniform global link
+// arrangement), endpoints spread round-robin over the groups' switches.
+//
+// The paper's configuration is Dragonfly(12, 6, 6, 15): 180 switches,
+// 1,080 terminals (Table 1).
+func Dragonfly(a, p, h, g int) *Topology {
+	if a < 2 || g < 2 || h < 1 {
+		panic("topology: dragonfly needs a >= 2, g >= 2, h >= 1")
+	}
+	b := graph.NewBuilder()
+	sw := make([][]graph.NodeID, g)
+	for q := 0; q < g; q++ {
+		sw[q] = make([]graph.NodeID, a)
+		for i := 0; i < a; i++ {
+			sw[q][i] = b.AddSwitch(fmt.Sprintf("g%d-s%d", q, i))
+		}
+	}
+	// Intra-group complete graphs.
+	for q := 0; q < g; q++ {
+		for i := 0; i < a; i++ {
+			for j := i + 1; j < a; j++ {
+				b.AddLink(sw[q][i], sw[q][j])
+			}
+		}
+	}
+	// Global links: every unordered group pair receives
+	// floor(a*h/(g-1)) parallel links, endpoints assigned round-robin over
+	// the groups' global ports (h consecutive ports per switch). For the
+	// paper's configuration this yields 525 global links and exactly the
+	// 1,515 switch-to-switch channels of Table 1; a few ports per group
+	// stay unused when a*h is not divisible by g-1, as on real systems.
+	linksPerPair := (a * h) / (g - 1)
+	if linksPerPair < 1 {
+		linksPerPair = 1
+	}
+	port := make([]int, g) // next free global port per group
+	take := func(q int) graph.NodeID {
+		s := sw[q][(port[q]/h)%a]
+		port[q]++
+		return s
+	}
+	for q1 := 0; q1 < g; q1++ {
+		for q2 := q1 + 1; q2 < g; q2++ {
+			for l := 0; l < linksPerPair; l++ {
+				b.AddLink(take(q1), take(q2))
+			}
+		}
+	}
+	var all []graph.NodeID
+	for q := 0; q < g; q++ {
+		all = append(all, sw[q]...)
+	}
+	addTerminals(b, all, p)
+	return &Topology{
+		Net:  b.MustBuild(),
+		Name: fmt.Sprintf("dragonfly-a%d-p%d-h%d-g%d", a, p, h, g),
+	}
+}
+
+// Cascade2Group builds a Cray Cascade-like network with two electrical
+// groups. Each group is a 16x6 flattened butterfly of Aries-like switches:
+// all-to-all in each row of 16 (single links) and all-to-all in each
+// column of 6 with 3 parallel links. 192 global links connect the two
+// groups, distributed round-robin over the switches. Every switch carries
+// 8 terminals. Counts match Table 1: 192 switches, 1,536 terminals, 3,072
+// switch-to-switch links.
+func Cascade2Group() *Topology {
+	const (
+		rows      = 6  // chassis per group
+		cols      = 16 // blades per chassis
+		groups    = 2
+		globals   = 192
+		terminals = 8
+	)
+	b := graph.NewBuilder()
+	sw := make([][][]graph.NodeID, groups) // [group][row][col]
+	for q := 0; q < groups; q++ {
+		sw[q] = make([][]graph.NodeID, rows)
+		for r := 0; r < rows; r++ {
+			sw[q][r] = make([]graph.NodeID, cols)
+			for c := 0; c < cols; c++ {
+				sw[q][r][c] = b.AddSwitch(fmt.Sprintf("g%d-c%d-b%d", q, r, c))
+			}
+		}
+	}
+	for q := 0; q < groups; q++ {
+		// Row (intra-chassis backplane) links: single.
+		for r := 0; r < rows; r++ {
+			for c1 := 0; c1 < cols; c1++ {
+				for c2 := c1 + 1; c2 < cols; c2++ {
+					b.AddLink(sw[q][r][c1], sw[q][r][c2])
+				}
+			}
+		}
+		// Column (inter-chassis cable) links: 3 parallel.
+		for c := 0; c < cols; c++ {
+			for r1 := 0; r1 < rows; r1++ {
+				for r2 := r1 + 1; r2 < rows; r2++ {
+					for k := 0; k < 3; k++ {
+						b.AddLink(sw[q][r1][c], sw[q][r2][c])
+					}
+				}
+			}
+		}
+	}
+	// Global optical links between the two groups, round-robin.
+	perGroup := rows * cols
+	for i := 0; i < globals; i++ {
+		s0 := sw[0][(i/cols)%rows][i%cols]
+		j := i + perGroup/2 // offset pairing to avoid pure identity wiring
+		s1 := sw[1][(j/cols)%rows][j%cols]
+		b.AddLink(s0, s1)
+	}
+	var all []graph.NodeID
+	for q := 0; q < groups; q++ {
+		for r := 0; r < rows; r++ {
+			all = append(all, sw[q][r]...)
+		}
+	}
+	addTerminals(b, all, terminals)
+	return &Topology{Net: b.MustBuild(), Name: "cascade-2group"}
+}

@@ -1,0 +1,64 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Kautz builds the undirected network derived from the Kautz digraph
+// K(b, k): vertices are length-k strings over an alphabet of b+1 symbols
+// with no two consecutive symbols equal ((b+1)*b^(k-1) vertices), and each
+// directed edge u -> v becomes one duplex link, repeated r times
+// (redundancy). Each switch carries t terminals.
+//
+// The paper's Kautz configuration (Table 1: 150 switches, 1,050 terminals,
+// 1,500 links, r=2) is Kautz(5, 3, 7, 2).
+func Kautz(b, k, t, r int) *Topology {
+	if b < 2 || k < 2 {
+		panic("topology: Kautz needs b >= 2, k >= 2")
+	}
+	bl := graph.NewBuilder()
+	// Enumerate vertices: strings s[0..k-1], s[i] in [0,b], s[i] != s[i+1].
+	var verts [][]int
+	var rec func(prefix []int)
+	rec = func(prefix []int) {
+		if len(prefix) == k {
+			verts = append(verts, append([]int(nil), prefix...))
+			return
+		}
+		for s := 0; s <= b; s++ {
+			if len(prefix) > 0 && prefix[len(prefix)-1] == s {
+				continue
+			}
+			rec(append(prefix, s))
+		}
+	}
+	rec(nil)
+	index := make(map[string]int, len(verts))
+	key := func(v []int) string { return fmt.Sprint(v) }
+	sw := make([]graph.NodeID, len(verts))
+	for i, v := range verts {
+		index[key(v)] = i
+		sw[i] = bl.AddSwitch(fmt.Sprintf("kz%v", v))
+	}
+	// Directed edges u=s0..s(k-1) -> v=s1..s(k-1),x for x != s(k-1).
+	for i, v := range verts {
+		shifted := append(append([]int(nil), v[1:]...), 0)
+		for x := 0; x <= b; x++ {
+			if x == v[k-1] {
+				continue
+			}
+			shifted[k-1] = x
+			j := index[key(shifted)]
+			for rep := 0; rep < r; rep++ {
+				bl.AddLink(sw[i], sw[j])
+			}
+		}
+	}
+	addTerminals(bl, sw, t)
+	return &Topology{
+		Net:  bl.MustBuild(),
+		Name: fmt.Sprintf("kautz-b%d-k%d", b, k),
+	}
+}

@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Torus3D builds a dx × dy × dz 3D torus of switches with t terminals per
+// switch and r parallel links (redundancy) between adjacent switches.
+// Dimensions of size 1 are allowed (degenerate), dimensions of size 2 get
+// a single link (not a double link) between the two switches of a ring.
+func Torus3D(dx, dy, dz, t, r int) *Topology {
+	return grid3D(dx, dy, dz, t, r, true)
+}
+
+// Mesh3D builds a dx × dy × dz 3D mesh (a torus without wrap-around
+// links). Meshes are the canonical network-on-chip substrate (§7 of the
+// paper); plain dimension-order routing is deadlock-free on them with a
+// single virtual channel.
+func Mesh3D(dx, dy, dz, t, r int) *Topology {
+	return grid3D(dx, dy, dz, t, r, false)
+}
+
+// Mesh2D builds a dx × dy mesh of tiles, the typical NoC floor plan.
+func Mesh2D(dx, dy, t int) *Topology {
+	tp := grid3D(dx, dy, 1, t, 1, false)
+	tp.Name = fmt.Sprintf("mesh-%dx%d", dx, dy)
+	return tp
+}
+
+func grid3D(dx, dy, dz, t, r int, wrap bool) *Topology {
+	if dx < 1 || dy < 1 || dz < 1 {
+		panic("topology: torus dimensions must be >= 1")
+	}
+	if r < 1 {
+		panic("topology: torus redundancy must be >= 1")
+	}
+	b := graph.NewBuilder()
+	meta := &TorusMeta{
+		Dims:     [3]int{dx, dy, dz},
+		Wrap:     wrap,
+		Coord:    make(map[graph.NodeID][3]int),
+		SwitchAt: make([][][]graph.NodeID, dx),
+	}
+	for x := 0; x < dx; x++ {
+		meta.SwitchAt[x] = make([][]graph.NodeID, dy)
+		for y := 0; y < dy; y++ {
+			meta.SwitchAt[x][y] = make([]graph.NodeID, dz)
+			for z := 0; z < dz; z++ {
+				id := b.AddSwitch(fmt.Sprintf("t%d-%d-%d", x, y, z))
+				meta.SwitchAt[x][y][z] = id
+				meta.Coord[id] = [3]int{x, y, z}
+			}
+		}
+	}
+	link := func(a, c graph.NodeID) {
+		for i := 0; i < r; i++ {
+			b.AddLink(a, c)
+		}
+	}
+	for x := 0; x < dx; x++ {
+		for y := 0; y < dy; y++ {
+			for z := 0; z < dz; z++ {
+				s := meta.SwitchAt[x][y][z]
+				// +x, +y, +z neighbors; wrap-around (tori only) once per
+				// ring, and no duplicate link for rings of size 2.
+				if dx > 1 && (x+1 < dx || (wrap && dx > 2)) {
+					link(s, meta.SwitchAt[(x+1)%dx][y][z])
+				}
+				if dy > 1 && (y+1 < dy || (wrap && dy > 2)) {
+					link(s, meta.SwitchAt[x][(y+1)%dy][z])
+				}
+				if dz > 1 && (z+1 < dz || (wrap && dz > 2)) {
+					link(s, meta.SwitchAt[x][y][(z+1)%dz])
+				}
+			}
+		}
+	}
+	switches := make([]graph.NodeID, 0, dx*dy*dz)
+	for x := 0; x < dx; x++ {
+		for y := 0; y < dy; y++ {
+			for z := 0; z < dz; z++ {
+				switches = append(switches, meta.SwitchAt[x][y][z])
+			}
+		}
+	}
+	addTerminals(b, switches, t)
+	kind := "torus"
+	if !wrap {
+		kind = "mesh"
+	}
+	return &Topology{
+		Net:   b.MustBuild(),
+		Name:  fmt.Sprintf("%s-%dx%dx%d", kind, dx, dy, dz),
+		Torus: meta,
+	}
+}

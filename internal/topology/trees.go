@@ -1,0 +1,106 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// KAryNTree builds a k-ary n-tree: n levels of k^(n-1) switches each,
+// level 0 being the leaves. A level-l switch labeled by an (n-1)-digit
+// base-k word w connects upward to the k level-(l+1) switches whose labels
+// agree with w in every digit except digit l. Each leaf switch carries
+// terminalsPerLeaf terminals.
+//
+// The paper's "10-ary 3-tree" is KAryNTree(10, 3, 11): 300 switches,
+// 1,100 terminals, 2,000 switch-to-switch links (Table 1).
+func KAryNTree(k, n, terminalsPerLeaf int) *Topology {
+	if k < 2 || n < 2 {
+		panic("topology: k-ary n-tree needs k >= 2, n >= 2")
+	}
+	b := graph.NewBuilder()
+	perLevel := pow(k, n-1)
+	sw := make([][]graph.NodeID, n) // sw[level][word]
+	level := make(map[graph.NodeID]int)
+	for l := 0; l < n; l++ {
+		sw[l] = make([]graph.NodeID, perLevel)
+		for w := 0; w < perLevel; w++ {
+			id := b.AddSwitch(fmt.Sprintf("L%d-%d", l, w))
+			sw[l][w] = id
+			level[id] = l
+		}
+	}
+	// Up links: digit l of the word varies between level l and l+1.
+	for l := 0; l < n-1; l++ {
+		stride := pow(k, l)
+		for w := 0; w < perLevel; w++ {
+			digit := (w / stride) % k
+			base := w - digit*stride
+			for d := 0; d < k; d++ {
+				up := base + d*stride
+				b.AddLink(sw[l][w], sw[l+1][up])
+			}
+		}
+	}
+	addTerminals(b, sw[0], terminalsPerLeaf)
+	return &Topology{
+		Net:  b.MustBuild(),
+		Name: fmt.Sprintf("%d-ary %d-tree", k, n),
+		Tree: &TreeMeta{Level: level, NumLevels: n},
+	}
+}
+
+// TsubameLike approximates the 2nd InfiniBand rail of Tsubame2.5 as a
+// two-tier windowed Clos: 216 edge switches carrying 1,407 terminals
+// (distributed round-robin) and 27 spine switches; edge switch i uplinks
+// to the 16 spines in the cyclic window starting at i (windows of 16 out
+// of 27 always pairwise overlap, so any two edges share a spine and the
+// network is fat-tree routable). This matches Table 1's published counts
+// (243 switches, 1,407 terminals; 3,456 vs. the published 3,384
+// switch-to-switch links, ~2% off) without reproducing the exact
+// production cabling, which is not public.
+func TsubameLike() *Topology {
+	const (
+		edges     = 216
+		spines    = 27
+		uplinks   = 16
+		terminals = 1407
+	)
+	b := graph.NewBuilder()
+	level := make(map[graph.NodeID]int)
+	edge := make([]graph.NodeID, edges)
+	for i := range edge {
+		edge[i] = b.AddSwitch(fmt.Sprintf("edge%d", i))
+		level[edge[i]] = 0
+	}
+	spine := make([]graph.NodeID, spines)
+	for i := range spine {
+		spine[i] = b.AddSwitch(fmt.Sprintf("spine%d", i))
+		level[spine[i]] = 1
+	}
+	for i := 0; i < edges; i++ {
+		for u := 0; u < uplinks; u++ {
+			// Cyclic window: spines i..i+15 (mod 27); each spine ends up
+			// with 128 downlinks.
+			s := (i + u) % spines
+			b.AddLink(edge[i], spine[s])
+		}
+	}
+	for t := 0; t < terminals; t++ {
+		tm := b.AddTerminal(fmt.Sprintf("node%d", t))
+		b.AddLink(tm, edge[t%edges])
+	}
+	return &Topology{
+		Net:  b.MustBuild(),
+		Name: "tsubame2.5-like",
+		Tree: &TreeMeta{Level: level, NumLevels: 2},
+	}
+}
+
+func pow(base, exp int) int {
+	r := 1
+	for i := 0; i < exp; i++ {
+		r *= base
+	}
+	return r
+}
