@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/partition"
 	"repro/internal/routing/dfsssp"
@@ -173,6 +174,77 @@ func BenchmarkFig11Torus2QoS(b *testing.B) {
 		routeOrSkip(b, eng, faulty, 8)
 	}
 }
+
+// --- Online fabric manager: incremental repair vs full recompute ---
+
+// fabricChurnBatchSize is ~2% of the duplex switch-switch links.
+func fabricChurnBatchSize(m *FabricManager) int {
+	nLinks := 0
+	net := m.View().Net
+	for c := 0; c < net.NumChannels(); c++ {
+		ch := net.Channel(graph.ChannelID(c))
+		if net.IsSwitch(ch.From) && net.IsSwitch(ch.To) {
+			nLinks++
+		}
+	}
+	n := nLinks / 100 // 2% of nLinks/2 duplex links
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// benchFabricChurn fails ~2% of a 4x4x4 torus's links event by event and
+// restores them, reporting how many forwarding-table entries each event
+// changed and how many destinations it re-routed. Failure sites rotate
+// per iteration (drawn from a fixed-seed stream) so repairs cannot settle
+// into routes that avoid a static failure set; the topology evolution —
+// and hence the event stream — is identical across the two modes.
+func benchFabricChurn(b *testing.B, full bool) {
+	b.Helper()
+	tp := topology.Torus3D(4, 4, 4, 1, 1)
+	m, err := NewFabricManager(tp, FabricOptions{MaxVCs: 4, Seed: 1, FullRecompute: full})
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := fabricChurnBatchSize(m)
+	rng := rand.New(rand.NewSource(21))
+	var entryDelta, repaired, events int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evs := make([]FabricEvent, 0, batch)
+		for len(evs) < batch {
+			ev, ok := m.RandomEvent(rng, 0)
+			if !ok {
+				b.Fatal("no churn event possible")
+			}
+			evs = append(evs, ev)
+			rep, err := m.Apply(ev)
+			if err != nil {
+				b.Fatal(err)
+			}
+			entryDelta += int64(rep.Delta.Changed + rep.Delta.Added + rep.Delta.Removed)
+			repaired += int64(rep.RepairedDests)
+			events++
+		}
+		for _, ev := range evs {
+			if _, err := m.Apply(FabricEvent{Kind: LinkJoin, Link: ev.Link}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(entryDelta)/float64(events), "entries-changed/event")
+	b.ReportMetric(float64(repaired)/float64(events), "dests-repaired/event")
+}
+
+// BenchmarkChurnIncrementalRepair measures the fabric manager's
+// incremental repair on a 4x4x4 torus under 2% link failures;
+// BenchmarkChurnFullRecompute is the same event stream re-routing the
+// whole fabric per event (RouteNue from scratch), the paper-baseline a
+// subnet manager without incremental repair would run.
+func BenchmarkChurnIncrementalRepair(b *testing.B) { benchFabricChurn(b, false) }
+
+func BenchmarkChurnFullRecompute(b *testing.B) { benchFabricChurn(b, true) }
 
 // --- Ablations (DESIGN.md §7) ---
 

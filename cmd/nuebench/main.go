@@ -85,6 +85,16 @@ func main() {
 				cfg.MaxVCs = *maxVCs
 			}
 			experiments.WriteChurn(w, cfg)
+			fmt.Fprintln(w)
+			lcfg := experiments.DefaultChurnLiveConfig()
+			lcfg.Seed = *seed
+			if *maxVCs > 0 {
+				lcfg.MaxVCs = *maxVCs
+			}
+			if _, err := experiments.WriteChurnLive(w, lcfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		case "fig11":
 			cfg := experiments.DefaultFig11Config()
 			cfg.MaxDim = *maxDim

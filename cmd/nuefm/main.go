@@ -1,0 +1,144 @@
+// Command nuefm runs the online fabric manager against a topology and a
+// stream of churn events, printing one line of repair metrics per event —
+// the operational view of Nue routing run fail-in-place.
+//
+// Usage:
+//
+//	nuefm -topo torus -dims 4x4x4 -events 20            # random link churn
+//	nuefm -topo dragonfly -events 50 -pjoin 0.4         # more rejoins
+//	nuefm -topo random -trace failures.txt              # replay a trace
+//	nuefm -topo torus -events 20 -full                  # full-recompute baseline
+//
+// Trace files hold one event per line ("fail-link <from> <to>",
+// "join-link <from> <to>", "fail-switch <id>", "join-switch <id>"; '#'
+// starts a comment). Without -trace, -events random connectivity-
+// preserving link events are drawn (-switch-every n mixes in a switch
+// event every n events).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		topo      = flag.String("topo", "torus", "topology: torus, mesh, dragonfly, random, ring")
+		dims      = flag.String("dims", "4x4x4", "torus/mesh dimensions")
+		terminals = flag.Int("t", 1, "terminals per switch (torus/mesh/ring)")
+		events    = flag.Int("events", 20, "number of random churn events")
+		pJoin     = flag.Float64("pjoin", 0.3, "probability a random event restores a failed link")
+		swEvery   = flag.Int("switch-every", 0, "draw a switch event every n events (0 = links only)")
+		trace     = flag.String("trace", "", "replay events from a trace file instead of random churn")
+		vcs       = flag.Int("vcs", 4, "virtual channel budget")
+		seed      = flag.Int64("seed", 1, "seed for routing and churn")
+		verify    = flag.Bool("verify", true, "verify connectivity + deadlock freedom per event")
+		full      = flag.Bool("full", false, "disable incremental repair (full recompute per event)")
+	)
+	flag.Parse()
+
+	tp, err := makeTopology(*topo, *dims, *terminals, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	start := time.Now()
+	m, err := fabric.NewManager(tp, fabric.Options{
+		MaxVCs:        *vcs,
+		Seed:          *seed,
+		Verify:        *verify,
+		FullRecompute: *full,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s: initial routing in %s (%d VCs)\n",
+		tp.Name, time.Since(start).Round(time.Millisecond), m.View().Result.VCs)
+
+	var evs []fabric.Event
+	if *trace != "" {
+		f, err := os.Open(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		evs, err = fabric.ParseTrace(f, m.View().Net)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(*seed + 1))
+	n := *events
+	if *trace != "" {
+		n = len(evs)
+	}
+	for i := 0; i < n; i++ {
+		var ev fabric.Event
+		if *trace != "" {
+			ev = evs[i]
+		} else {
+			var ok bool
+			if *swEvery > 0 && (i+1)%*swEvery == 0 {
+				ev, ok = m.RandomSwitchEvent(rng, *pJoin)
+			} else {
+				ev, ok = m.RandomEvent(rng, *pJoin)
+			}
+			if !ok {
+				fmt.Println("# no further churn event possible")
+				break
+			}
+		}
+		rep, err := m.Apply(ev)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "event %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+
+	mt := m.Metrics()
+	fmt.Printf("# %d events (%d no-ops), %d/%d destination routes recomputed (%.1f%%), %d layer rebuilds, %d full recomputes\n",
+		mt.Events, mt.NoOps, mt.RepairedDests, mt.DestRoutes,
+		100*float64(mt.RepairedDests)/float64(max(1, mt.DestRoutes)), mt.LayerRebuilds, mt.FullRecomputes)
+	fmt.Printf("# table entries: %.1f%% unchanged across events; total repair time %s\n",
+		100*mt.Delta.UnchangedFraction(), mt.RepairTime.Round(time.Millisecond))
+}
+
+func makeTopology(name, dims string, t int, seed int64) (*topology.Topology, error) {
+	var dx, dy, dz int
+	if name == "torus" || name == "mesh" {
+		if _, err := fmt.Sscanf(dims, "%dx%dx%d", &dx, &dy, &dz); err != nil {
+			return nil, fmt.Errorf("bad -dims %q (want e.g. 4x4x4): %v", dims, err)
+		}
+	}
+	switch name {
+	case "torus":
+		return topology.Torus3D(dx, dy, dz, t, 1), nil
+	case "mesh":
+		return topology.Mesh3D(dx, dy, dz, t, 1), nil
+	case "dragonfly":
+		return topology.Dragonfly(4, 2, 2, 9), nil
+	case "random":
+		return topology.RandomTopology(rand.New(rand.NewSource(seed)), 30, 90, 2), nil
+	case "ring":
+		return topology.Ring(8, t), nil
+	}
+	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

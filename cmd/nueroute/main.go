@@ -147,7 +147,7 @@ func dumpTables(tp *topology.Topology, res *routing.Result) {
 	}
 }
 
-func fatal(format string, args ...interface{}) {
+func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
 }

@@ -105,7 +105,7 @@ func main() {
 		st.Name, st.Switches, st.Terminals, st.SSLinks)
 }
 
-func fatal(format string, args ...interface{}) {
+func fatal(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, format+"\n", args...)
 	os.Exit(1)
 }

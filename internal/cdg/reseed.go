@@ -1,0 +1,83 @@
+package cdg
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// SeedStats reports what SeedRoute marked.
+type SeedStats struct {
+	// Channels counts channel vertices newly transitioned to used; Deps
+	// counts dependency edges newly transitioned to used.
+	Channels, Deps int
+}
+
+// SeedRoute re-seeds the complete CDG with the channel dependencies of an
+// existing destination-based routing toward dest: the forwarding tree is
+// walked via next(n) — the traffic next-hop channel at node n toward dest
+// (graph.NoChannel when n has no route) — and every traversed channel and
+// every pairwise dependency is marked used in recorded orientation (the
+// reversal isomorphism of the package comment).
+//
+// This is the heart of incremental repair: destinations whose routes
+// survive a topology change keep their dependencies alive in the layer's
+// CDG, so a subsequent modified-Dijkstra run for the broken destinations
+// can only add paths whose union with the surviving configuration stays
+// acyclic (UPR-style old+new compatibility). Seeding a single old routing
+// into a fresh CDG always succeeds (its dependencies were acyclic); an
+// error is returned when a dependency would close a cycle with previously
+// marked state (e.g. escape paths of a new spanning tree) or traverses a
+// channel that no longer exists — callers then fall back to re-routing
+// the whole layer.
+func (g *Graph) SeedRoute(dest graph.NodeID, next func(graph.NodeID) graph.ChannelID) (SeedStats, error) {
+	var st SeedStats
+	net := g.net
+	for n := 0; n < net.NumNodes(); n++ {
+		v := graph.NodeID(n)
+		if v == dest {
+			continue
+		}
+		c1 := next(v)
+		if c1 == graph.NoChannel {
+			continue
+		}
+		if net.Channel(c1).Failed {
+			return st, fmt.Errorf("cdg: route of dest %d uses failed channel %d", dest, c1)
+		}
+		r1 := net.Channel(c1).Reverse
+		if g.ChannelState(r1) == Unused {
+			st.Channels++
+		}
+		g.SeedChannel(r1)
+		u := net.Channel(c1).To
+		if u == dest {
+			continue
+		}
+		c2 := next(u)
+		if c2 == graph.NoChannel {
+			return st, fmt.Errorf("cdg: route of dest %d discontinuous at node %d", dest, u)
+		}
+		if net.Channel(c2).Failed {
+			return st, fmt.Errorf("cdg: route of dest %d uses failed channel %d", dest, c2)
+		}
+		r2 := net.Channel(c2).Reverse
+		if g.ChannelState(r2) == Unused {
+			st.Channels++
+		}
+		g.SeedChannel(r2)
+		// Traffic dependency (c1, c2) is recorded as (rev(c2), rev(c1)).
+		e := g.EdgeID(r2, r1)
+		if e < 0 {
+			return st, fmt.Errorf("cdg: route of dest %d induces dependency (%d,%d) absent from the complete CDG", dest, c1, c2)
+		}
+		wasUsed := g.EdgeState(e) == Used
+		if !g.TryUseEdgeByID(e, r2, r1) {
+			return st, fmt.Errorf("cdg: dependency (%d,%d) of dest %d would close a cycle", c1, c2, dest)
+		}
+		if !wasUsed {
+			st.Deps++
+		}
+	}
+	return st, nil
+}

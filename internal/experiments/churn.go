@@ -46,9 +46,12 @@ type ChurnRow struct {
 	Algorithm string
 	// ChangedEntries is the fraction of surviving forwarding entries that
 	// differ from the previous step's tables (re-cabling cost in an
-	// operational fail-in-place network).
-	ChangedEntries float64
-	Err            string
+	// operational fail-in-place network); UnchangedEntries is its
+	// complement, the fraction of the fabric's forwarding state that
+	// survived the event untouched.
+	ChangedEntries   float64
+	UnchangedEntries float64
+	Err              string
 }
 
 // Churn runs the fail-in-place experiment on a 4x4x4 torus.
@@ -90,6 +93,7 @@ func Churn(cfg ChurnConfig) []ChurnRow {
 			}
 			if p := prev[name]; p != nil && step > 0 {
 				row.ChangedEntries = tableChurn(cur.Net, p, res, dests)
+				row.UnchangedEntries = 1 - row.ChangedEntries
 			}
 			prev[name] = res
 			rows = append(rows, row)
@@ -130,13 +134,14 @@ func WriteChurn(w io.Writer, cfg ChurnConfig) []ChurnRow {
 	fmt.Fprintf(w, "## Fail-in-place churn — 4x4x4 torus, %d events of %.0f%% link failures\n",
 		cfg.Steps, cfg.FailuresPerStep*100)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "step\tfailed-links\trouting\tchanged-entries%\tnote")
+	fmt.Fprintln(tw, "step\tfailed-links\trouting\tchanged-entries%\tunchanged-entries%\tnote")
 	for _, r := range rows {
 		note := r.Err
 		if note == "" {
 			note = "ok"
 		}
-		fmt.Fprintf(tw, "%d\t%d\t%s\t%.1f\t%s\n", r.Step, r.Failed, r.Algorithm, r.ChangedEntries*100, note)
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%.1f\t%.1f\t%s\n",
+			r.Step, r.Failed, r.Algorithm, r.ChangedEntries*100, r.UnchangedEntries*100, note)
 	}
 	tw.Flush()
 	return rows

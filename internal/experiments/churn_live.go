@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/topology"
+)
+
+// ChurnLiveConfig parameterizes the online fail-in-place experiment: the
+// same churn event stream is fed to two fabric managers — one repairing
+// incrementally, one recomputing the whole routing per event — and the
+// work and forwarding-state stability of both are compared.
+type ChurnLiveConfig struct {
+	// Events is the number of churn events.
+	Events int
+	// PJoin is the probability an event restores a failed link instead of
+	// failing an alive one.
+	PJoin float64
+	// MaxVCs is the VC budget.
+	MaxVCs int
+	Seed   int64
+}
+
+// DefaultChurnLiveConfig churns a 4x4x4 torus for 20 events.
+func DefaultChurnLiveConfig() ChurnLiveConfig {
+	return ChurnLiveConfig{Events: 20, PJoin: 0.3, MaxVCs: 4}
+}
+
+// ChurnLiveRow compares one event across the two repair modes.
+type ChurnLiveRow struct {
+	Event int
+	Desc  string
+	// IncRepaired/Total is the incremental manager's destination-repair
+	// count versus the destination set size (what the full manager routes).
+	IncRepaired, Total int
+	// IncUnchanged and FullUnchanged are each mode's fraction of table
+	// entries left untouched by the event.
+	IncUnchanged, FullUnchanged float64
+	// IncLatency and FullLatency are the per-event reconfiguration times.
+	IncLatency, FullLatency time.Duration
+}
+
+// ChurnLive runs the online churn comparison on a 4x4x4 torus. Every
+// transition of both managers is verified (connectivity + deadlock
+// freedom); an invalid transition surfaces as an error.
+func ChurnLive(cfg ChurnLiveConfig) ([]ChurnLiveRow, error) {
+	tp := topology.Torus3D(4, 4, 4, 1, 1)
+	inc, err := fabric.NewManager(tp, fabric.Options{MaxVCs: cfg.MaxVCs, Seed: cfg.Seed, Verify: true})
+	if err != nil {
+		return nil, fmt.Errorf("incremental manager: %w", err)
+	}
+	full, err := fabric.NewManager(tp, fabric.Options{MaxVCs: cfg.MaxVCs, Seed: cfg.Seed, Verify: true, FullRecompute: true})
+	if err != nil {
+		return nil, fmt.Errorf("full-recompute manager: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 77))
+	rows := make([]ChurnLiveRow, 0, cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		ev, ok := inc.RandomEvent(rng, cfg.PJoin)
+		if !ok {
+			break
+		}
+		ri, err := inc.Apply(ev)
+		if err != nil {
+			return rows, fmt.Errorf("event %d (incremental): %w", i, err)
+		}
+		rf, err := full.Apply(ev)
+		if err != nil {
+			return rows, fmt.Errorf("event %d (full): %w", i, err)
+		}
+		rows = append(rows, ChurnLiveRow{
+			Event:         i,
+			Desc:          ev.String(),
+			IncRepaired:   ri.RepairedDests,
+			Total:         ri.TotalDests,
+			IncUnchanged:  ri.Delta.UnchangedFraction(),
+			FullUnchanged: rf.Delta.UnchangedFraction(),
+			IncLatency:    ri.Latency,
+			FullLatency:   rf.Latency,
+		})
+	}
+	return rows, nil
+}
+
+// WriteChurnLive runs and prints the online churn comparison.
+func WriteChurnLive(w io.Writer, cfg ChurnLiveConfig) ([]ChurnLiveRow, error) {
+	rows, err := ChurnLive(cfg)
+	if err != nil {
+		return rows, err
+	}
+	fmt.Fprintf(w, "## Online fabric manager — 4x4x4 torus, %d churn events, incremental vs full recompute\n", len(rows))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "event\tkind\trepaired-dests\tinc-unchanged%\tfull-unchanged%\tinc-time\tfull-time")
+	var sumRep, sumTotal int
+	var sumIncT, sumFullT time.Duration
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%s\t%d/%d\t%.1f\t%.1f\t%s\t%s\n",
+			r.Event, r.Desc, r.IncRepaired, r.Total,
+			r.IncUnchanged*100, r.FullUnchanged*100,
+			r.IncLatency.Round(time.Microsecond), r.FullLatency.Round(time.Microsecond))
+		sumRep += r.IncRepaired
+		sumTotal += r.Total
+		sumIncT += r.IncLatency
+		sumFullT += r.FullLatency
+	}
+	tw.Flush()
+	if sumTotal > 0 {
+		fmt.Fprintf(w, "incremental repair recomputed %.1f%% of the destination routes a full recompute would (%s vs %s total)\n",
+			100*float64(sumRep)/float64(sumTotal), sumIncT.Round(time.Millisecond), sumFullT.Round(time.Millisecond))
+	}
+	return rows, err
+}

@@ -1,0 +1,290 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/routing/verify"
+)
+
+// Apply processes one reconfiguration event: it mutates the manager's
+// network view, repairs the routing incrementally (only destinations
+// whose forwarding trees traverse a changed channel), and publishes a new
+// epoch. Readers keep querying the previous snapshot until the new one is
+// atomically installed. Events are serialized; concurrent Apply calls
+// queue on an internal lock.
+func (m *Manager) Apply(ev Event) (*EventReport, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	start := time.Now()
+	old := m.snap.Load()
+	report := &EventReport{
+		Event:      ev,
+		Epoch:      old.Epoch,
+		TotalDests: len(old.Result.Table.Dests()),
+	}
+
+	changed := m.mutate(ev)
+	if len(changed) == 0 {
+		report.NoOp = true
+		report.Latency = time.Since(start)
+		m.metrics.add(report)
+		return report, nil
+	}
+
+	newNet := m.working.Clone()
+	res, repaired, err := m.retable(old, newNet, changed, report)
+	if err != nil {
+		m.revert(ev, changed)
+		return nil, fmt.Errorf("fabric: %s: %w", ev, err)
+	}
+
+	if report.FullRecompute {
+		m.rebuildIndex(res.Table)
+	} else {
+		for _, d := range repaired {
+			m.reindexDest(res.Table, d)
+		}
+	}
+	report.Delta = routing.Diff(old.Result.Table, res.Table)
+	report.Epoch = old.Epoch + 1
+	report.Latency = time.Since(start)
+	m.snap.Store(&Snapshot{Epoch: report.Epoch, Net: newNet, Result: res})
+	m.metrics.add(report)
+	return report, nil
+}
+
+// mutate applies the structural change of ev to the working network and
+// returns the directed channels whose failed state flipped (empty for
+// no-ops). Callers hold mu.
+func (m *Manager) mutate(ev Event) []graph.ChannelID {
+	var changed []graph.ChannelID
+	// sync re-evaluates one duplex link's desired state against the
+	// working network and records the flip.
+	sync := func(link graph.ChannelID) {
+		ch := m.working.Channel(link)
+		down := m.linkFailed[link] || m.nodeDown[ch.From] || m.nodeDown[ch.To]
+		if m.working.SetChannelFailed(link, down) {
+			changed = append(changed, link, ch.Reverse)
+		}
+	}
+	switch ev.Kind {
+	case LinkFail, LinkJoin:
+		link := canonical(m.working, ev.Link)
+		want := ev.Kind == LinkFail
+		if m.linkFailed[link] == want {
+			return nil
+		}
+		m.linkFailed[link] = want
+		sync(link)
+	case SwitchFail, SwitchJoin:
+		want := ev.Kind == SwitchFail
+		if m.nodeDown[ev.Node] == want {
+			return nil
+		}
+		m.nodeDown[ev.Node] = want
+		for _, link := range m.links[ev.Node] {
+			sync(link)
+		}
+	}
+	return changed
+}
+
+// revert undoes mutate after a failed reconfiguration so the manager
+// state stays consistent with the still-published snapshot.
+func (m *Manager) revert(ev Event, changed []graph.ChannelID) {
+	switch ev.Kind {
+	case LinkFail, LinkJoin:
+		link := canonical(m.working, ev.Link)
+		m.linkFailed[link] = ev.Kind != LinkFail
+	case SwitchFail, SwitchJoin:
+		m.nodeDown[ev.Node] = ev.Kind != SwitchFail
+	}
+	for i := 0; i < len(changed); i += 2 {
+		c := changed[i]
+		m.working.SetChannelFailed(c, !m.working.Channel(c).Failed)
+	}
+}
+
+// retable computes the new routing for newNet. It returns the result and
+// the destinations whose columns changed (for index maintenance).
+func (m *Manager) retable(old *Snapshot, newNet *graph.Network, changed []graph.ChannelID, report *EventReport) (*routing.Result, []graph.NodeID, error) {
+	if m.opts.FullRecompute {
+		res, err := m.fullRecompute(newNet, report)
+		return res, nil, err
+	}
+	oldRes := old.Result
+
+	// Affected destinations: for failed channels, exactly the ones whose
+	// forwarding trees traverse them (the inverted index); for restored
+	// channels, the ones with incomplete columns (disconnection healing).
+	affected := make(map[graph.NodeID]struct{})
+	restored := false
+	for _, c := range changed {
+		if newNet.Channel(c).Failed {
+			for d := range m.destsUsing[c] {
+				affected[d] = struct{}{}
+			}
+		} else {
+			restored = true
+		}
+	}
+	table := oldRes.Table.Clone(newNet)
+	dests := table.Dests()
+	if restored {
+		for _, d := range dests {
+			if _, ok := affected[d]; ok || newNet.Degree(d) == 0 {
+				continue
+			}
+			for _, s := range newNet.Switches() {
+				if newNet.Degree(s) > 0 && s != d && table.Next(s, d) == graph.NoChannel {
+					affected[d] = struct{}{}
+					break
+				}
+			}
+		}
+	}
+	// Destinations that just lost their last channel must drop their
+	// stale columns even though no path can be rebuilt.
+	for _, d := range dests {
+		if newNet.Degree(d) == 0 && len(m.destChans[d]) > 0 {
+			affected[d] = struct{}{}
+		}
+	}
+
+	if len(affected) == 0 {
+		// Topology changed but no route is impacted (e.g. failing an
+		// unused link): republish the same entries on the new network.
+		res := resultWith(oldRes, table)
+		if err := m.maybeVerify(newNet, res, report); err != nil {
+			return nil, nil, err
+		}
+		return res, nil, nil
+	}
+
+	// Group the repair by virtual layer; untouched destinations of a
+	// layer keep their routes and seed the layer's repair CDG.
+	byLayer := make(map[uint8][]graph.NodeID)
+	keptByLayer := make(map[uint8][]graph.NodeID)
+	repairedList := make([]graph.NodeID, 0, len(affected))
+	for i, d := range dests {
+		var l uint8
+		if oldRes.DestLayer != nil {
+			l = oldRes.DestLayer[i]
+		}
+		if _, ok := affected[d]; ok {
+			byLayer[l] = append(byLayer[l], d)
+			repairedList = append(repairedList, d)
+		} else {
+			keptByLayer[l] = append(keptByLayer[l], d)
+		}
+	}
+	layers := make([]uint8, 0, len(byLayer))
+	for l := range byLayer {
+		layers = append(layers, l)
+	}
+	sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
+
+	// Layers own disjoint table columns, so their repairs run in
+	// parallel, exactly like Nue's full routing runs its layers.
+	stats := make([]*core.RepairStats, len(layers))
+	rebuilt := make([]bool, len(layers))
+	errs := make([]error, len(layers))
+	var wg sync.WaitGroup
+	for i, l := range layers {
+		wg.Add(1)
+		go func(i int, l uint8) {
+			defer wg.Done()
+			stats[i], errs[i] = m.nue.RepairLayer(core.RepairRequest{
+				Net:    newNet,
+				Table:  table,
+				Repair: byLayer[l],
+				Kept:   keptByLayer[l],
+			})
+			if errors.Is(errs[i], core.ErrRepairInfeasible) {
+				// The kept routes conflict with the repair's escape paths:
+				// widen to the whole layer, which always succeeds.
+				rebuilt[i] = true
+				all := append(append([]graph.NodeID(nil), byLayer[l]...), keptByLayer[l]...)
+				stats[i], errs[i] = m.nue.RepairLayer(core.RepairRequest{
+					Net:    newNet,
+					Table:  table,
+					Repair: all,
+				})
+			}
+		}(i, l)
+	}
+	wg.Wait()
+	for i, l := range layers {
+		if errs[i] != nil {
+			// Last resort: re-route the whole fabric.
+			res, err := m.fullRecompute(newNet, report)
+			if err != nil {
+				return nil, nil, fmt.Errorf("layer %d repair failed (%v) and full recompute failed: %w", l, errs[i], err)
+			}
+			return res, nil, nil
+		}
+		if rebuilt[i] {
+			report.LayerRebuilds++
+			repairedList = append(repairedList, keptByLayer[l]...)
+		}
+		report.RepairedDests += stats[i].Routed
+		report.UnreachableDests += stats[i].Unreachable
+		report.Seeded.Channels += stats[i].Seeded.Channels
+		report.Seeded.Deps += stats[i].Seeded.Deps
+	}
+
+	res := resultWith(oldRes, table)
+	if err := m.maybeVerify(newNet, res, report); err != nil {
+		// Defense in depth: an invalid incremental transition is replaced
+		// by a verified full recompute.
+		full, ferr := m.fullRecompute(newNet, report)
+		if ferr != nil {
+			return nil, nil, fmt.Errorf("incremental transition invalid (%v) and full recompute failed: %w", err, ferr)
+		}
+		return full, nil, nil
+	}
+	return res, repairedList, nil
+}
+
+// fullRecompute routes the fabric from scratch and verifies if required.
+func (m *Manager) fullRecompute(newNet *graph.Network, report *EventReport) (*routing.Result, error) {
+	res, err := m.routeFull(newNet)
+	if err != nil {
+		return nil, err
+	}
+	report.FullRecompute = true
+	report.RepairedDests = report.TotalDests
+	if err := m.maybeVerify(newNet, res, report); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (m *Manager) maybeVerify(net *graph.Network, res *routing.Result, report *EventReport) error {
+	if !m.opts.Verify {
+		return nil
+	}
+	if _, err := verify.Check(net, res, nil); err != nil {
+		return err
+	}
+	report.Verified = true
+	return nil
+}
+
+// resultWith rebinds an old result to a repaired table; layer assignment
+// and VC usage are invariants of incremental repair.
+func resultWith(old *routing.Result, table *routing.Table) *routing.Result {
+	return &routing.Result{
+		Algorithm: old.Algorithm,
+		Table:     table,
+		VCs:       old.VCs,
+		DestLayer: old.DestLayer,
+	}
+}

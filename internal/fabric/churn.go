@@ -1,0 +1,113 @@
+package fabric
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// RandomEvent draws the next link-churn event: with probability pJoin it
+// restores a previously failed link (when one exists), otherwise it fails
+// a random alive switch-to-switch link whose removal keeps the network
+// connected. It returns false when no event is possible (no failable link
+// and nothing to restore). The manager is not modified; feed the event to
+// Apply.
+func (m *Manager) RandomEvent(rng *rand.Rand, pJoin float64) (Event, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var down []graph.ChannelID
+	for link, failed := range m.linkFailed {
+		if failed {
+			down = append(down, link)
+		}
+	}
+	sortChannels(down)
+	if len(down) > 0 && rng.Float64() < pJoin {
+		return Event{Kind: LinkJoin, Link: down[rng.Intn(len(down))]}, true
+	}
+
+	var alive []graph.ChannelID
+	for c := 0; c < m.working.NumChannels(); c++ {
+		id := graph.ChannelID(c)
+		ch := m.working.Channel(id)
+		if canonical(m.working, id) != id || ch.Failed {
+			continue
+		}
+		if m.working.IsSwitch(ch.From) && m.working.IsSwitch(ch.To) {
+			alive = append(alive, id)
+		}
+	}
+	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	for _, c := range alive {
+		// Probe on the working copy and revert: Apply will redo the flip.
+		m.working.SetChannelFailed(c, true)
+		ok := graph.Connected(m.working)
+		m.working.SetChannelFailed(c, false)
+		if ok {
+			return Event{Kind: LinkFail, Link: c}, true
+		}
+	}
+	if len(down) > 0 {
+		return Event{Kind: LinkJoin, Link: down[rng.Intn(len(down))]}, true
+	}
+	return Event{}, false
+}
+
+// RandomSwitchEvent draws a switch-churn event: with probability pJoin it
+// rejoins a down switch (when one exists), otherwise it fails a random
+// switch whose removal keeps the remaining switch fabric connected.
+func (m *Manager) RandomSwitchEvent(rng *rand.Rand, pJoin float64) (Event, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	var downSw []graph.NodeID
+	for n, down := range m.nodeDown {
+		if down {
+			downSw = append(downSw, n)
+		}
+	}
+	sortNodes(downSw)
+	if len(downSw) > 0 && rng.Float64() < pJoin {
+		return Event{Kind: SwitchJoin, Node: downSw[rng.Intn(len(downSw))]}, true
+	}
+
+	var alive []graph.NodeID
+	for _, s := range m.working.Switches() {
+		if !m.nodeDown[s] && m.working.Degree(s) > 0 {
+			alive = append(alive, s)
+		}
+	}
+	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	for _, s := range alive {
+		var flipped []graph.ChannelID
+		for _, link := range m.links[s] {
+			if !m.working.Channel(link).Failed {
+				m.working.SetChannelFailed(link, true)
+				flipped = append(flipped, link)
+			}
+		}
+		ok := graph.Connected(m.working)
+		for _, link := range flipped {
+			m.working.SetChannelFailed(link, false)
+		}
+		if ok {
+			return Event{Kind: SwitchFail, Node: s}, true
+		}
+	}
+	if len(downSw) > 0 {
+		return Event{Kind: SwitchJoin, Node: downSw[rng.Intn(len(downSw))]}, true
+	}
+	return Event{}, false
+}
+
+// sortChannels and sortNodes keep map-iteration randomness out of the
+// event draw so runs are reproducible per seed.
+func sortChannels(s []graph.ChannelID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func sortNodes(s []graph.NodeID) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

@@ -1,0 +1,234 @@
+// Package fabric is the online fabric manager: a long-running service
+// that owns a mutable view of an interconnection network, accepts a
+// stream of topology-churn events (link/switch failures and joins) and
+// repairs the deadlock-free routing incrementally instead of recomputing
+// it — the fail-in-place operating mode (Domke et al., SC'14) the Nue
+// paper targets, run as a production subnet manager would.
+//
+// Only destinations whose forwarding trees traverse a changed channel are
+// re-routed. The repair runs Nue's modified Dijkstra inside a complete
+// CDG per virtual layer that is re-seeded with the surviving channel
+// dependencies of the untouched routes, so the union of the old and the
+// new configuration stays acyclic throughout the transition (the
+// compatibility condition of UPR, Crespo et al., arXiv:2006.02332). When
+// the seeded dependencies make a repair infeasible (the existence bound
+// of Mendlovic & Matias, arXiv:2503.04583), the manager widens the repair
+// to the layer, and as a last resort to the whole fabric.
+//
+// Readers never block on reconfigurations: forwarding state is published
+// as epoch-versioned immutable snapshots behind an atomic pointer, so
+// NextHop/Path see a consistent (network, table) pair at all times.
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/routing/verify"
+	"repro/internal/topology"
+)
+
+// Options configures a Manager.
+type Options struct {
+	// MaxVCs is the virtual-channel budget handed to Nue (default 4).
+	MaxVCs int
+	// Seed drives Nue's partitioning and root tie-breaks.
+	Seed int64
+	// Verify runs the full routing verifier (connectivity + deadlock
+	// freedom) on every published transition; failures trigger a full
+	// recompute before the snapshot is published.
+	Verify bool
+	// FullRecompute disables incremental repair: every event re-routes
+	// the entire fabric (the baseline the churn experiment compares
+	// against).
+	FullRecompute bool
+}
+
+// Snapshot is one immutable epoch of the fabric: a network view and the
+// routing computed for it. Readers obtain it atomically and may use it
+// for any length of time; reconfigurations publish fresh snapshots and
+// never mutate old ones.
+type Snapshot struct {
+	// Epoch increases by one per applied (non-no-op) event.
+	Epoch uint64
+	// Net is the network as of this epoch.
+	Net *graph.Network
+	// Result is the deadlock-free routing of Net.
+	Result *routing.Result
+}
+
+// Manager is the online fabric manager. Query methods (NextHop, Path,
+// View, Epoch) are safe for arbitrary concurrency; Apply serializes
+// reconfigurations internally.
+type Manager struct {
+	opts Options
+	nue  *core.Nue
+
+	snap atomic.Pointer[Snapshot]
+
+	mu sync.Mutex // guards everything below; serializes Apply
+	// working is the manager's private mutable network; published
+	// snapshots carry clones of it.
+	working *graph.Network
+	// linkFailed marks duplex links failed on their own (keyed by the
+	// canonical directed half); nodeDown marks failed switches. A link is
+	// down iff it failed explicitly or either endpoint is down, so a
+	// switch rejoining does not resurrect a link that also failed on its
+	// own.
+	linkFailed map[graph.ChannelID]bool
+	nodeDown   map[graph.NodeID]bool
+	// links lists, per node, the canonical duplex links attached to it
+	// (independent of current failed state).
+	links [][]graph.ChannelID
+	// destsUsing indexes, per directed channel, the destinations whose
+	// forwarding trees traverse it — the inverted index that makes the
+	// affected-destination computation O(|changed channels|) instead of
+	// O(|table|).
+	destsUsing map[graph.ChannelID]map[graph.NodeID]struct{}
+	// destChans is the reverse view: the channels each destination's
+	// column currently uses.
+	destChans map[graph.NodeID][]graph.ChannelID
+	metrics   Metrics
+}
+
+// NewManager routes the topology from scratch and starts managing it.
+// The topology is not retained; the manager works on private copies.
+func NewManager(tp *topology.Topology, opts Options) (*Manager, error) {
+	if opts.MaxVCs <= 0 {
+		opts.MaxVCs = 4
+	}
+	nopts := core.DefaultOptions()
+	nopts.Seed = opts.Seed
+	m := &Manager{
+		opts:       opts,
+		nue:        core.New(nopts),
+		working:    tp.Net.Clone(),
+		linkFailed: make(map[graph.ChannelID]bool),
+		nodeDown:   make(map[graph.NodeID]bool),
+		links:      make([][]graph.ChannelID, tp.Net.NumNodes()),
+	}
+	for c := 0; c < m.working.NumChannels(); c++ {
+		id := graph.ChannelID(c)
+		if canonical(m.working, id) != id {
+			continue
+		}
+		ch := m.working.Channel(id)
+		m.links[ch.From] = append(m.links[ch.From], id)
+		m.links[ch.To] = append(m.links[ch.To], id)
+		// Links already failed in the input topology count as explicit
+		// failures, so a later join can restore them.
+		if ch.Failed {
+			m.linkFailed[id] = true
+		}
+	}
+	net := m.working.Clone()
+	res, err := m.routeFull(net)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: initial routing: %w", err)
+	}
+	if opts.Verify {
+		if _, err := verify.Check(net, res, nil); err != nil {
+			return nil, fmt.Errorf("fabric: initial routing invalid: %w", err)
+		}
+	}
+	m.rebuildIndex(res.Table)
+	m.snap.Store(&Snapshot{Epoch: 0, Net: net, Result: res})
+	return m, nil
+}
+
+// routeFull recomputes the whole fabric from scratch on net.
+func (m *Manager) routeFull(net *graph.Network) (*routing.Result, error) {
+	dests := destinations(net)
+	if len(dests) == 0 {
+		return nil, errors.New("fabric: network has no destinations")
+	}
+	return m.nue.Route(net, dests, m.opts.MaxVCs)
+}
+
+// destinations returns the fabric's destination set: every terminal, or
+// every switch when the network has none. Disconnected members keep
+// their table columns (cleared) so the set is stable across churn.
+func destinations(net *graph.Network) []graph.NodeID {
+	if net.NumTerminals() > 0 {
+		return net.Terminals()
+	}
+	return net.Switches()
+}
+
+// View returns the current snapshot. The result is immutable and remains
+// valid (and internally consistent) for as long as the caller holds it.
+func (m *Manager) View() *Snapshot { return m.snap.Load() }
+
+// Epoch returns the current configuration version.
+func (m *Manager) Epoch() uint64 { return m.snap.Load().Epoch }
+
+// NextHop returns the forwarding channel at node n toward destination d
+// in the current epoch (graph.NoChannel when none).
+func (m *Manager) NextHop(n, d graph.NodeID) graph.ChannelID {
+	return m.snap.Load().Result.Table.Next(n, d)
+}
+
+// Path walks the current epoch's tables from src to dst.
+func (m *Manager) Path(src, dst graph.NodeID) ([]graph.ChannelID, error) {
+	return m.snap.Load().Result.Table.Path(src, dst)
+}
+
+// Metrics returns a copy of the lifetime aggregate metrics.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.metrics
+}
+
+// rebuildIndex recomputes the channel->destinations inverted index from a
+// full table. Called under mu (or before the manager is published).
+func (m *Manager) rebuildIndex(t *routing.Table) {
+	m.destsUsing = make(map[graph.ChannelID]map[graph.NodeID]struct{})
+	m.destChans = make(map[graph.NodeID][]graph.ChannelID)
+	t.ForEach(func(sw, dest graph.NodeID, c graph.ChannelID) {
+		m.indexAdd(dest, c)
+	})
+}
+
+func (m *Manager) indexAdd(dest graph.NodeID, c graph.ChannelID) {
+	set := m.destsUsing[c]
+	if set == nil {
+		set = make(map[graph.NodeID]struct{})
+		m.destsUsing[c] = set
+	}
+	if _, ok := set[dest]; !ok {
+		set[dest] = struct{}{}
+		m.destChans[dest] = append(m.destChans[dest], c)
+	}
+}
+
+// reindexDest refreshes the index entries of one destination after its
+// column changed.
+func (m *Manager) reindexDest(t *routing.Table, dest graph.NodeID) {
+	for _, c := range m.destChans[dest] {
+		delete(m.destsUsing[c], dest)
+	}
+	m.destChans[dest] = m.destChans[dest][:0]
+	seen := make(map[graph.ChannelID]struct{})
+	net := m.working
+	for n := 0; n < net.NumNodes(); n++ {
+		v := graph.NodeID(n)
+		if !net.IsSwitch(v) {
+			continue
+		}
+		c := t.Next(v, dest)
+		if c == graph.NoChannel {
+			continue
+		}
+		if _, ok := seen[c]; ok {
+			continue
+		}
+		seen[c] = struct{}{}
+		m.indexAdd(dest, c)
+	}
+}

@@ -1,0 +1,96 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cdg"
+	"repro/internal/routing"
+)
+
+// EventReport describes what one Apply did: how much of the fabric's
+// forwarding state the event touched and how long the repair took. These
+// are the operational metrics of a fail-in-place subnet manager — the
+// smaller RepairedDests and the delta, the less re-cabling the live
+// network observes.
+type EventReport struct {
+	// Epoch is the snapshot version published by this event (unchanged
+	// for no-ops).
+	Epoch uint64
+	// Event is the applied reconfiguration.
+	Event Event
+	// NoOp is true when the event did not change the topology (failing an
+	// already-failed link, joining an alive one).
+	NoOp bool
+	// RepairedDests counts destinations whose paths were recomputed;
+	// TotalDests is the size of the destination set (what a full recompute
+	// would route).
+	RepairedDests, TotalDests int
+	// UnreachableDests counts destinations left without routes
+	// (disconnected by the event).
+	UnreachableDests int
+	// LayerRebuilds counts layers whose incremental repair was infeasible
+	// and which were re-routed wholesale; FullRecompute is true when the
+	// whole fabric had to be re-routed from scratch.
+	LayerRebuilds int
+	FullRecompute bool
+	// Seeded counts the surviving old-configuration dependencies carried
+	// into the repair CDGs (the UPR-style old+new union).
+	Seeded cdg.SeedStats
+	// Delta compares the published table against the previous epoch's.
+	Delta routing.TableDelta
+	// Latency is the wall-clock time of the reconfiguration (repair +
+	// verification + publication).
+	Latency time.Duration
+	// Verified is true when the transition was checked by the routing
+	// verifier (connectivity + deadlock freedom).
+	Verified bool
+}
+
+func (r *EventReport) String() string {
+	mode := "incremental"
+	if r.FullRecompute {
+		mode = "full"
+	}
+	if r.NoOp {
+		mode = "no-op"
+	}
+	return fmt.Sprintf("epoch %d: %s — %s, repaired %d/%d dests, %.1f%% entries unchanged, %s",
+		r.Epoch, r.Event, mode, r.RepairedDests, r.TotalDests,
+		r.Delta.UnchangedFraction()*100, r.Latency.Round(time.Microsecond))
+}
+
+// Metrics aggregates EventReports over a manager's lifetime.
+type Metrics struct {
+	// Events counts Apply calls; NoOps those that changed nothing.
+	Events, NoOps int
+	// RepairedDests sums repaired destinations; DestRoutes sums
+	// TotalDests, so RepairedDests/DestRoutes is the fraction of path
+	// computations an equivalent full-recompute manager would have done.
+	RepairedDests, DestRoutes int
+	// LayerRebuilds and FullRecomputes count repair fallbacks.
+	LayerRebuilds, FullRecomputes int
+	// Delta accumulates per-event table deltas.
+	Delta routing.TableDelta
+	// RepairTime sums reconfiguration latencies.
+	RepairTime time.Duration
+}
+
+func (m *Metrics) add(r *EventReport) {
+	m.Events++
+	if r.NoOp {
+		m.NoOps++
+		return
+	}
+	m.RepairedDests += r.RepairedDests
+	m.DestRoutes += r.TotalDests
+	m.LayerRebuilds += r.LayerRebuilds
+	if r.FullRecompute {
+		m.FullRecomputes++
+	}
+	m.Delta.Changed += r.Delta.Changed
+	m.Delta.Added += r.Delta.Added
+	m.Delta.Removed += r.Delta.Removed
+	m.Delta.Same += r.Delta.Same
+	m.RepairTime += r.Latency
+}

@@ -304,6 +304,80 @@ func (g *Network) rebuildAdjacency() {
 	}
 }
 
+// Clone returns a deep copy of g. The copy shares nothing with the
+// original, so it may be mutated (SetChannelFailed) while readers keep
+// using g — the basis of the fabric manager's copy-on-write snapshots.
+func (g *Network) Clone() *Network {
+	ng := &Network{
+		nodes:        append([]Node(nil), g.nodes...),
+		channels:     append([]Channel(nil), g.channels...),
+		out:          make([][]ChannelID, len(g.out)),
+		in:           make([][]ChannelID, len(g.in)),
+		numSwitches:  g.numSwitches,
+		numTerminals: g.numTerminals,
+	}
+	for n := range g.out {
+		ng.out[n] = append([]ChannelID(nil), g.out[n]...)
+		ng.in[n] = append([]ChannelID(nil), g.in[n]...)
+	}
+	return ng
+}
+
+// SetChannelFailed marks channel c and its reverse half failed (or
+// restores them) and updates the adjacency lists incrementally — a delta
+// mutation that avoids the O(|C| log |C|) rebuild of WithoutChannels. It
+// reports whether the state actually changed. The receiver must be a
+// private copy (see Clone); published snapshots stay immutable.
+func (g *Network) SetChannelFailed(c ChannelID, failed bool) bool {
+	if g.channels[c].Failed == failed {
+		return false
+	}
+	for _, id := range [2]ChannelID{c, g.channels[c].Reverse} {
+		ch := &g.channels[id]
+		ch.Failed = failed
+		if failed {
+			g.out[ch.From] = removeID(g.out[ch.From], id)
+			g.in[ch.To] = removeID(g.in[ch.To], id)
+		} else {
+			g.out[ch.From] = insertSorted(g.out[ch.From], id, func(a, b ChannelID) bool {
+				ca, cb := g.channels[a], g.channels[b]
+				if ca.To != cb.To {
+					return ca.To < cb.To
+				}
+				return ca.ID < cb.ID
+			})
+			g.in[ch.To] = insertSorted(g.in[ch.To], id, func(a, b ChannelID) bool {
+				ca, cb := g.channels[a], g.channels[b]
+				if ca.From != cb.From {
+					return ca.From < cb.From
+				}
+				return ca.ID < cb.ID
+			})
+		}
+	}
+	return true
+}
+
+// removeID deletes id from the slice preserving order.
+func removeID(s []ChannelID, id ChannelID) []ChannelID {
+	for i, v := range s {
+		if v == id {
+			return append(s[:i], s[i+1:]...)
+		}
+	}
+	return s
+}
+
+// insertSorted inserts id into the slice at the position given by less,
+// preserving the adjacency sort order.
+func insertSorted(s []ChannelID, id ChannelID, less func(a, b ChannelID) bool) []ChannelID {
+	i := sort.Search(len(s), func(i int) bool { return less(id, s[i]) })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = id
+	return s
+}
+
 // WithoutChannels returns a copy of g with the given channels (and their
 // reverse halves) marked failed. Terminals that would become disconnected
 // make the copy invalid for Build-level guarantees; callers should check

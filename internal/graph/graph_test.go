@@ -340,3 +340,78 @@ func TestTerminalSwitchPanicsOnSwitch(t *testing.T) {
 	}()
 	g.TerminalSwitch(0)
 }
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := buildRing(t, 6)
+	cp := g.Clone()
+	c := g.Out(0)[0]
+	if !cp.SetChannelFailed(c, true) {
+		t.Fatal("SetChannelFailed reported no change")
+	}
+	if g.Channel(c).Failed {
+		t.Fatal("mutating the clone changed the original")
+	}
+	if len(g.Out(0)) == len(cp.Out(0)) {
+		t.Fatal("clone adjacency not updated")
+	}
+}
+
+// TestSetChannelFailedMatchesRebuild checks that incremental adjacency
+// updates produce exactly the state a full rebuild would.
+func TestSetChannelFailedMatchesRebuild(t *testing.T) {
+	g := buildRing(t, 8)
+	mut := g.Clone()
+	var failed []ChannelID
+	// Fail every third switch-switch duplex link, then restore half.
+	for i := 0; i < g.NumChannels(); i += 6 {
+		c := ChannelID(i)
+		if g.IsSwitch(g.Channel(c).From) && g.IsSwitch(g.Channel(c).To) {
+			mut.SetChannelFailed(c, true)
+			failed = append(failed, c)
+		}
+	}
+	for i, c := range failed {
+		if i%2 == 1 {
+			mut.SetChannelFailed(c, false)
+		}
+	}
+	var stillFailed []ChannelID
+	for _, c := range failed {
+		if mut.Channel(c).Failed {
+			stillFailed = append(stillFailed, c)
+		}
+	}
+	want := g.WithoutChannels(stillFailed...)
+	for n := 0; n < g.NumNodes(); n++ {
+		id := NodeID(n)
+		if got, exp := mut.Out(id), want.Out(id); !equalChannels(got, exp) {
+			t.Fatalf("out[%d]: got %v want %v", n, got, exp)
+		}
+		if got, exp := mut.In(id), want.In(id); !equalChannels(got, exp) {
+			t.Fatalf("in[%d]: got %v want %v", n, got, exp)
+		}
+	}
+}
+
+func TestSetChannelFailedIdempotent(t *testing.T) {
+	g := buildRing(t, 5).Clone()
+	c := g.Out(0)[0]
+	if !g.SetChannelFailed(c, true) || g.SetChannelFailed(c, true) {
+		t.Fatal("idempotency broken on fail")
+	}
+	if !g.SetChannelFailed(c, false) || g.SetChannelFailed(c, false) {
+		t.Fatal("idempotency broken on restore")
+	}
+}
+
+func equalChannels(a, b []ChannelID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

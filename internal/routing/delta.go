@@ -1,0 +1,122 @@
+package routing
+
+import (
+	"repro/internal/graph"
+)
+
+// Clone returns a deep copy of the table rebound to net, which must share
+// g's node and channel ID space (fault injection and delta mutation both
+// preserve IDs). Pass nil to keep the current network. The fabric manager
+// clones the published table, repairs columns in place, and publishes the
+// copy — readers of the original are never disturbed.
+func (t *Table) Clone(net *graph.Network) *Table {
+	if net == nil {
+		net = t.net
+	}
+	return &Table{
+		net:       net,
+		dests:     t.dests, // immutable after NewTable
+		destIndex: t.destIndex,
+		swIndex:   t.swIndex,
+		next:      append([]graph.ChannelID(nil), t.next...),
+	}
+}
+
+// ClearDest resets every entry of dest's column to NoChannel, detaching
+// the destination from the routing before a repair re-routes it (or after
+// it became unreachable).
+func (t *Table) ClearDest(dest graph.NodeID) {
+	d := t.destIndex[dest]
+	if d < 0 {
+		return
+	}
+	stride := len(t.dests)
+	for i := int(d); i < len(t.next); i += stride {
+		t.next[i] = graph.NoChannel
+	}
+}
+
+// DestUsesChannel reports whether any entry of dest's column forwards
+// over channel c.
+func (t *Table) DestUsesChannel(dest graph.NodeID, c graph.ChannelID) bool {
+	d := t.destIndex[dest]
+	if d < 0 {
+		return false
+	}
+	stride := len(t.dests)
+	for i := int(d); i < len(t.next); i += stride {
+		if t.next[i] == c {
+			return true
+		}
+	}
+	return false
+}
+
+// ForEach calls fn for every non-empty (switch, destination, next hop)
+// entry of the table.
+func (t *Table) ForEach(fn func(sw, dest graph.NodeID, c graph.ChannelID)) {
+	sws := make([]graph.NodeID, 0, len(t.swIndex))
+	for n, r := range t.swIndex {
+		if r >= 0 {
+			sws = append(sws, graph.NodeID(n))
+		}
+	}
+	stride := len(t.dests)
+	for _, sw := range sws {
+		row := int(t.swIndex[sw]) * stride
+		for di, d := range t.dests {
+			if c := t.next[row+di]; c != graph.NoChannel {
+				fn(sw, d, c)
+			}
+		}
+	}
+}
+
+// TableDelta summarizes how two forwarding tables over the same
+// destination set differ — the re-cabling cost of a reconfiguration in an
+// operational fail-in-place network.
+type TableDelta struct {
+	// Changed counts entries present in both tables with different next
+	// hops; Added entries only the new table has; Removed entries only the
+	// old table has; Same entries identical in both.
+	Changed, Added, Removed, Same int
+}
+
+// Total returns the number of entries populated in at least one table.
+func (d TableDelta) Total() int { return d.Changed + d.Added + d.Removed + d.Same }
+
+// UnchangedFraction returns Same / Total (1.0 for two empty tables): the
+// forwarding-state stability across the transition.
+func (d TableDelta) UnchangedFraction() float64 {
+	t := d.Total()
+	if t == 0 {
+		return 1
+	}
+	return float64(d.Same) / float64(t)
+}
+
+// Diff compares two tables entry by entry. Both must be built over the
+// same destination set and switch ID space (the fabric manager's tables
+// always are; it panics otherwise).
+func Diff(old, new_ *Table) TableDelta {
+	if len(old.next) != len(new_.next) || len(old.dests) != len(new_.dests) {
+		panic("routing: Diff over differently shaped tables")
+	}
+	var delta TableDelta
+	for i := range old.next {
+		a, b := old.next[i], new_.next[i]
+		switch {
+		case a == b && a == graph.NoChannel:
+			// unpopulated in both; not an entry
+		case a == b:
+			delta.Same++
+		case a == graph.NoChannel:
+			delta.Added++
+		case b == graph.NoChannel:
+			delta.Removed++
+		default:
+			delta.Changed++
+		}
+	}
+	return delta
+}

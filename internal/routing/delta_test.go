@@ -1,0 +1,89 @@
+package routing
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// deltaNet builds a 4-switch line with one terminal on each end switch.
+func deltaNet(t *testing.T) *graph.Network {
+	t.Helper()
+	b := graph.NewBuilder()
+	sw := make([]graph.NodeID, 4)
+	for i := range sw {
+		sw[i] = b.AddSwitch("")
+	}
+	for i := 0; i+1 < len(sw); i++ {
+		b.AddLink(sw[i], sw[i+1])
+	}
+	t0 := b.AddTerminal("")
+	b.AddLink(t0, sw[0])
+	t1 := b.AddTerminal("")
+	b.AddLink(t1, sw[3])
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestCloneClearDiff(t *testing.T) {
+	net := deltaNet(t)
+	dests := net.Terminals()
+	old := NewTable(net, dests)
+	// Route both terminals along the line.
+	for _, d := range dests {
+		att := net.TerminalSwitch(d)
+		for _, s := range net.Switches() {
+			if s == att {
+				old.Set(s, d, net.FindChannel(s, d))
+				continue
+			}
+			step := graph.NodeID(1)
+			if att < s {
+				step = -1
+			}
+			old.Set(s, d, net.FindChannel(s, s+step))
+		}
+	}
+	cp := old.Clone(nil)
+	if d := Diff(old, cp); d.Same != 8 || d.Changed+d.Added+d.Removed != 0 {
+		t.Fatalf("clone diff = %+v, want 8 identical entries", d)
+	}
+	if d := Diff(old, cp); d.UnchangedFraction() != 1 {
+		t.Fatalf("unchanged fraction = %v, want 1", d.UnchangedFraction())
+	}
+	d0 := dests[0]
+	if !cp.DestUsesChannel(d0, old.Next(1, d0)) {
+		t.Fatal("DestUsesChannel missed a used channel")
+	}
+	cp.ClearDest(d0)
+	for _, s := range net.Switches() {
+		if cp.Next(s, d0) != graph.NoChannel {
+			t.Fatalf("ClearDest left entry at switch %d", s)
+		}
+	}
+	if cp.DestUsesChannel(d0, old.Next(1, d0)) {
+		t.Fatal("DestUsesChannel true after ClearDest")
+	}
+	d := Diff(old, cp)
+	if d.Removed != 4 || d.Same != 4 {
+		t.Fatalf("diff after ClearDest = %+v, want 4 removed / 4 same", d)
+	}
+	// Mutating the clone must not affect the original.
+	if old.Next(1, d0) == graph.NoChannel {
+		t.Fatal("Clone shares entry storage with original")
+	}
+	// ForEach visits exactly the populated entries.
+	n := 0
+	cp.ForEach(func(sw, dest graph.NodeID, c graph.ChannelID) {
+		n++
+		if dest == d0 {
+			t.Fatal("ForEach visited a cleared column")
+		}
+	})
+	if n != 4 {
+		t.Fatalf("ForEach visited %d entries, want 4", n)
+	}
+}

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/routing"
@@ -130,6 +131,36 @@ func AllToAllShift(terminals []NodeID, phases int) []sim.Message {
 // EdgeForwardingIndex computes the γ statistics of §5.1.
 func EdgeForwardingIndex(net *Network, res *RoutingResult) GammaStats {
 	return metrics.EdgeForwardingIndex(net, res, nil)
+}
+
+// Online fabric management (fail-in-place operation under live churn).
+
+type (
+	// FabricManager owns a mutable network view and repairs its
+	// deadlock-free routing incrementally as links and switches fail or
+	// join. Queries are lock-free against epoch-versioned snapshots.
+	FabricManager = fabric.Manager
+	// FabricOptions configures a FabricManager.
+	FabricOptions = fabric.Options
+	// FabricEvent is one topology-churn event.
+	FabricEvent = fabric.Event
+	// FabricSnapshot is one immutable (network, routing) epoch.
+	FabricSnapshot = fabric.Snapshot
+	// FabricEventReport describes what one applied event changed.
+	FabricEventReport = fabric.EventReport
+)
+
+// Churn event kinds accepted by FabricManager.Apply.
+const (
+	LinkFail   = fabric.LinkFail
+	LinkJoin   = fabric.LinkJoin
+	SwitchFail = fabric.SwitchFail
+	SwitchJoin = fabric.SwitchJoin
+)
+
+// NewFabricManager routes the topology and starts managing it online.
+func NewFabricManager(tp *Topology, opts FabricOptions) (*FabricManager, error) {
+	return fabric.NewManager(tp, opts)
 }
 
 // Topology generators (Table 1 and the worked examples).
