@@ -5,9 +5,11 @@ package repro
 // benches for the design choices called out in DESIGN.md §7.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/centrality"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
@@ -172,6 +174,49 @@ func BenchmarkFig11Torus2QoS(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		routeOrSkip(b, eng, faulty, 8)
+	}
+}
+
+// --- Parallel engine: layer fan-out and sharded betweenness ---
+
+// BenchmarkBetweenness measures Brandes betweenness on an 8-ary 3-D
+// torus's switch graph — the per-layer root-selection cost the parallel
+// engine shards. Sub-benchmarks sweep the worker count; every count
+// produces bit-identical centrality scores (fixed 64-source shards with
+// ordered commits), so the sweep measures speedup only.
+func BenchmarkBetweenness(b *testing.B) {
+	tp := topology.Torus3D(8, 8, 8, 1, 1)
+	sub := tp.Net.Switches()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				centrality.BetweennessN(tp.Net, sub, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkRouteParallel routes an 8-ary 3-D torus under a 4 VC budget
+// with the layer pool bounded to 1, 4 and 8 workers. The forwarding
+// tables are bit-identical across the sweep (see
+// core.TestDeterministicAcrossWorkers); only wall-clock may differ.
+func BenchmarkRouteParallel(b *testing.B) {
+	tp := topology.Torus3D(8, 8, 8, 1, 1)
+	dests := tp.Net.Terminals()
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := DefaultNueOptions()
+			opts.Seed = 1
+			opts.Workers = workers
+			eng := core.New(opts)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Route(tp.Net, dests, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

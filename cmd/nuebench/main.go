@@ -24,14 +24,15 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, all")
-		trials = flag.Int("trials", 5, "fig9: number of random topologies (paper: 1000)")
-		phases = flag.Int("phases", 16, "fig10: all-to-all shift phases (0 = full, the paper's workload)")
-		maxDim = flag.Int("maxdim", 6, "fig11: largest torus dimension (paper: 10)")
-		maxVCs = flag.Int("vcs", 0, "override VC budget (0 = per-experiment default)")
-		seed   = flag.Int64("seed", 1, "random seed for topologies and partitioning")
-		verify = flag.Bool("verify", false, "fig11: verify deadlock freedom of every result (slow)")
-		out    = flag.String("o", "", "write output to file instead of stdout")
+		exp     = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, all")
+		trials  = flag.Int("trials", 5, "fig9: number of random topologies (paper: 1000)")
+		phases  = flag.Int("phases", 16, "fig10: all-to-all shift phases (0 = full, the paper's workload)")
+		maxDim  = flag.Int("maxdim", 6, "fig11: largest torus dimension (paper: 10)")
+		maxVCs  = flag.Int("vcs", 0, "override VC budget (0 = per-experiment default)")
+		seed    = flag.Int64("seed", 1, "random seed for topologies and partitioning")
+		workers = flag.Int("workers", 0, "Nue routing goroutines, 0 = GOMAXPROCS (routes are identical for every value)")
+		verify  = flag.Bool("verify", false, "fig11: verify deadlock freedom of every result (slow)")
+		out     = flag.String("o", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		case "fig1":
 			cfg := experiments.DefaultFig1Config()
 			cfg.Seed = *seed
+			cfg.Workers = *workers
 			if *maxVCs > 0 {
 				cfg.MaxVCs = *maxVCs
 			}
@@ -61,11 +63,13 @@ func main() {
 			cfg := experiments.DefaultFig9Config()
 			cfg.Trials = *trials
 			cfg.Seed = *seed
+			cfg.Workers = *workers
 			experiments.WriteFig9(w, cfg)
 		case "fig10":
 			cfg := experiments.DefaultFig10Config()
 			cfg.Phases = *phases
 			cfg.Seed = *seed
+			cfg.Workers = *workers
 			if *maxVCs > 0 {
 				cfg.MaxVCs = *maxVCs
 			}
@@ -81,6 +85,7 @@ func main() {
 		case "churn":
 			cfg := experiments.DefaultChurnConfig()
 			cfg.Seed = *seed
+			cfg.Workers = *workers
 			if *maxVCs > 0 {
 				cfg.MaxVCs = *maxVCs
 			}
@@ -88,6 +93,7 @@ func main() {
 			fmt.Fprintln(w)
 			lcfg := experiments.DefaultChurnLiveConfig()
 			lcfg.Seed = *seed
+			lcfg.Workers = *workers
 			if *maxVCs > 0 {
 				lcfg.MaxVCs = *maxVCs
 			}
@@ -99,6 +105,7 @@ func main() {
 			cfg := experiments.DefaultFig11Config()
 			cfg.MaxDim = *maxDim
 			cfg.Seed = *seed
+			cfg.Workers = *workers
 			cfg.Verify = *verify
 			if *maxVCs > 0 {
 				cfg.MaxVCs = *maxVCs

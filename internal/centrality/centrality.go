@@ -4,6 +4,10 @@
 package centrality
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/graph"
 )
 
@@ -61,8 +65,95 @@ func ConvexSubgraph(g *graph.Network, dests []graph.NodeID) []graph.NodeID {
 // once. The result maps only nodes of the subgraph; other entries are
 // zero. Runs in O(|sub| * (|N| + |C|)).
 func Betweenness(g *graph.Network, sub []graph.NodeID) []float64 {
+	return BetweennessN(g, sub, 1)
+}
+
+// betweennessShard is the number of source nodes per reduction shard.
+// Shard boundaries — and therefore the floating-point summation order of
+// per-source dependencies into the result — depend only on the source set,
+// never on the worker count, so BetweennessN is bit-identical for every
+// value of workers.
+const betweennessShard = 64
+
+// brandesScratch is the per-worker single-source state of Brandes'
+// algorithm.
+type brandesScratch struct {
+	sigma        []float64
+	dist         []int32
+	delta        []float64
+	order        []graph.NodeID
+	preds        [][]graph.NodeID
+	seenNeighbor []int32
+	epoch        int32
+	partial      []float64 // one shard's centrality contribution
+}
+
+func newBrandesScratch(n int) *brandesScratch {
+	return &brandesScratch{
+		sigma:        make([]float64, n),
+		dist:         make([]int32, n),
+		delta:        make([]float64, n),
+		order:        make([]graph.NodeID, 0, n),
+		preds:        make([][]graph.NodeID, n),
+		seenNeighbor: make([]int32, n),
+		partial:      make([]float64, n),
+	}
+}
+
+// oneSource runs the single-source phase of Brandes' algorithm from src
+// and accumulates the dependencies into sc.partial.
+func (sc *brandesScratch) oneSource(g *graph.Network, in []bool, src graph.NodeID) {
+	n := g.NumNodes()
+	// Single-source shortest path counting (BFS).
+	sc.order = sc.order[:0]
+	for i := 0; i < n; i++ {
+		sc.sigma[i] = 0
+		sc.dist[i] = -1
+		sc.delta[i] = 0
+		sc.preds[i] = sc.preds[i][:0]
+	}
+	sc.sigma[src] = 1
+	sc.dist[src] = 0
+	sc.order = append(sc.order, src)
+	for head := 0; head < len(sc.order); head++ {
+		u := sc.order[head]
+		sc.epoch++
+		for _, c := range g.Out(u) {
+			v := g.Channel(c).To
+			if !in[v] || sc.seenNeighbor[v] == sc.epoch {
+				continue // skip parallel channels to the same neighbor
+			}
+			sc.seenNeighbor[v] = sc.epoch
+			if sc.dist[v] < 0 {
+				sc.dist[v] = sc.dist[u] + 1
+				sc.order = append(sc.order, v)
+			}
+			if sc.dist[v] == sc.dist[u]+1 {
+				sc.sigma[v] += sc.sigma[u]
+				sc.preds[v] = append(sc.preds[v], u)
+			}
+		}
+	}
+	// Dependency accumulation in reverse BFS order.
+	for i := len(sc.order) - 1; i > 0; i-- {
+		w := sc.order[i]
+		coeff := (1 + sc.delta[w]) / sc.sigma[w]
+		for _, v := range sc.preds[w] {
+			sc.delta[v] += sc.sigma[v] * coeff
+		}
+		sc.partial[w] += sc.delta[w]
+	}
+}
+
+// BetweennessN is Betweenness computed by the given number of workers
+// (0 or negative means GOMAXPROCS). The source nodes are sharded into
+// fixed-size blocks; each worker accumulates a block's dependencies into a
+// private buffer and commits the buffers into the result in block order,
+// so the output is bit-identical regardless of workers.
+func BetweennessN(g *graph.Network, sub []graph.NodeID, workers int) []float64 {
 	n := g.NumNodes()
 	in := make([]bool, n)
+	srcs := make([]graph.NodeID, 0, n)
 	if sub == nil {
 		for i := range in {
 			in[i] = true
@@ -72,60 +163,81 @@ func Betweenness(g *graph.Network, sub []graph.NodeID) []float64 {
 			in[s] = true
 		}
 	}
-	cb := make([]float64, n)
-	sigma := make([]float64, n)
-	dist := make([]int32, n)
-	delta := make([]float64, n)
-	order := make([]graph.NodeID, 0, n)
-	preds := make([][]graph.NodeID, n)
-	seenNeighbor := make([]int32, n)
-	epoch := int32(0)
-
 	for s := 0; s < n; s++ {
-		if !in[s] {
-			continue
-		}
-		src := graph.NodeID(s)
-		// Single-source shortest path counting (BFS).
-		order = order[:0]
-		for i := 0; i < n; i++ {
-			sigma[i] = 0
-			dist[i] = -1
-			delta[i] = 0
-			preds[i] = preds[i][:0]
-		}
-		sigma[src] = 1
-		dist[src] = 0
-		order = append(order, src)
-		for head := 0; head < len(order); head++ {
-			u := order[head]
-			epoch++
-			for _, c := range g.Out(u) {
-				v := g.Channel(c).To
-				if !in[v] || seenNeighbor[v] == epoch {
-					continue // skip parallel channels to the same neighbor
-				}
-				seenNeighbor[v] = epoch
-				if dist[v] < 0 {
-					dist[v] = dist[u] + 1
-					order = append(order, v)
-				}
-				if dist[v] == dist[u]+1 {
-					sigma[v] += sigma[u]
-					preds[v] = append(preds[v], u)
-				}
-			}
-		}
-		// Dependency accumulation in reverse BFS order.
-		for i := len(order) - 1; i > 0; i-- {
-			w := order[i]
-			coeff := (1 + delta[w]) / sigma[w]
-			for _, v := range preds[w] {
-				delta[v] += sigma[v] * coeff
-			}
-			cb[w] += delta[w]
+		if in[s] {
+			srcs = append(srcs, graph.NodeID(s))
 		}
 	}
+	cb := make([]float64, n)
+	numShards := (len(srcs) + betweennessShard - 1) / betweennessShard
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > numShards {
+		workers = numShards
+	}
+
+	runShard := func(sc *brandesScratch, shard int) {
+		for i := range sc.partial {
+			sc.partial[i] = 0
+		}
+		lo := shard * betweennessShard
+		hi := lo + betweennessShard
+		if hi > len(srcs) {
+			hi = len(srcs)
+		}
+		for _, src := range srcs[lo:hi] {
+			sc.oneSource(g, in, src)
+		}
+	}
+	commit := func(sc *brandesScratch) {
+		for i, v := range sc.partial {
+			cb[i] += v
+		}
+	}
+
+	if workers <= 1 {
+		sc := newBrandesScratch(n)
+		for shard := 0; shard < numShards; shard++ {
+			runShard(sc, shard)
+			commit(sc)
+		}
+		return cb
+	}
+
+	// Workers claim shards from an atomic counter and commit their partial
+	// sums strictly in shard order (ordered-commit pipeline): the reduction
+	// order is a function of the shard boundaries alone.
+	var (
+		next       int64
+		mu         sync.Mutex
+		nextCommit int
+		wg         sync.WaitGroup
+	)
+	cond := sync.NewCond(&mu)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newBrandesScratch(n)
+			for {
+				shard := int(atomic.AddInt64(&next, 1)) - 1
+				if shard >= numShards {
+					return
+				}
+				runShard(sc, shard)
+				mu.Lock()
+				for nextCommit != shard {
+					cond.Wait()
+				}
+				commit(sc)
+				nextCommit++
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
 	return cb
 }
 
@@ -133,10 +245,16 @@ func Betweenness(g *graph.Network, sub []graph.NodeID) []float64 {
 // centrality within the induced subgraph, breaking ties toward switches
 // first and then toward lower IDs. If sub is empty it returns NoNode.
 func MostCentral(g *graph.Network, sub []graph.NodeID) graph.NodeID {
+	return MostCentralN(g, sub, 1)
+}
+
+// MostCentralN is MostCentral with the betweenness computed by the given
+// number of workers; the choice is identical for every worker count.
+func MostCentralN(g *graph.Network, sub []graph.NodeID, workers int) graph.NodeID {
 	if len(sub) == 0 {
 		return graph.NoNode
 	}
-	cb := Betweenness(g, sub)
+	cb := BetweennessN(g, sub, workers)
 	best := sub[0]
 	for _, n := range sub[1:] {
 		if better(g, cb, n, best) {
@@ -162,6 +280,12 @@ func better(g *graph.Network, cb []float64, a, b graph.NodeID) bool {
 // (§4.3): the most central node of the convex subgraph of the
 // destinations. This is the composition Nue uses per virtual layer.
 func RootForDestinations(g *graph.Network, dests []graph.NodeID) graph.NodeID {
+	return RootForDestinationsN(g, dests, 1)
+}
+
+// RootForDestinationsN is RootForDestinations with a parallel betweenness
+// pass; the root choice is identical for every worker count.
+func RootForDestinationsN(g *graph.Network, dests []graph.NodeID, workers int) graph.NodeID {
 	hull := ConvexSubgraph(g, dests)
-	return MostCentral(g, hull)
+	return MostCentralN(g, hull, workers)
 }

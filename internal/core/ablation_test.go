@@ -201,9 +201,9 @@ func TestParallelMatchesSerial(t *testing.T) {
 	tp := topology.Torus3D(4, 4, 3, 2, 1)
 	dests := tp.Net.Terminals()
 	par := DefaultOptions()
-	par.Parallel = true
+	par.Workers = 8
 	ser := DefaultOptions()
-	ser.Parallel = false
+	ser.Workers = 1
 	a, err := New(par).Route(tp.Net, dests, 8)
 	if err != nil {
 		t.Fatal(err)

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/cdg"
 	"repro/internal/fibheap"
@@ -41,9 +42,11 @@ type layerState struct {
 
 	heap *fibheap.Heap
 
-	// byDistScratch and cntScratch are reused across weight updates.
+	// byDistScratch and cntScratch are reused across weight updates;
+	// islandScratch across island scans.
 	byDistScratch []graph.NodeID
 	cntScratch    []int32
+	islandScratch []graph.NodeID
 
 	stats *Stats
 }
@@ -62,28 +65,79 @@ type Stats struct {
 	EscapeDeps int
 }
 
+// layerStatePool recycles layerState scratch (per-layer arrays and the
+// fib-heap) across layers, destinations and Route calls, so the hot path
+// stops allocating per layer. States for differently-sized networks simply
+// regrow their slices on first use.
+var layerStatePool = sync.Pool{New: func() any { return new(layerState) }}
+
 func newLayerState(net *graph.Network, d *cdg.Graph, tree *graph.Tree, opts Options, isSource []bool, stats *Stats) *layerState {
 	nn, nc := net.NumNodes(), net.NumChannels()
-	ls := &layerState{
-		net:         net,
-		d:           d,
-		tree:        tree,
-		opts:        opts,
-		weight:      make([]float64, nc),
-		isSource:    isSource,
-		nodeDist:    make([]float64, nn),
-		chDist:      make([]float64, nc),
-		usedChannel: make([]graph.ChannelID, nn),
-		popped:      make([]bool, nn),
-		children:    make([][]graph.ChannelID, nn),
-		altStack:    make([][]graph.ChannelID, nn),
-		heap:        fibheap.New(nc),
-		stats:       stats,
+	ls := layerStatePool.Get().(*layerState)
+	ls.net = net
+	ls.d = d
+	ls.tree = tree
+	ls.opts = opts
+	ls.isSource = isSource
+	ls.stats = stats
+	ls.weight = growFloats(ls.weight, nc)
+	ls.nodeDist = growFloats(ls.nodeDist, nn)
+	ls.chDist = growFloats(ls.chDist, nc)
+	ls.usedChannel = growChannels(ls.usedChannel, nn)
+	ls.popped = growBools(ls.popped, nn)
+	ls.children = growChannelLists(ls.children, nn)
+	ls.altStack = growChannelLists(ls.altStack, nn)
+	if ls.heap == nil || ls.heap.Cap() < nc {
+		ls.heap = fibheap.New(nc)
+	} else {
+		ls.heap.Reset()
+	}
+	ls.byDistScratch = ls.byDistScratch[:0]
+	if cap(ls.cntScratch) < nn {
+		ls.cntScratch = make([]int32, nn)
+	} else {
+		ls.cntScratch = ls.cntScratch[:nn]
 	}
 	for c := range ls.weight {
 		ls.weight[c] = 1
 	}
 	return ls
+}
+
+// release returns the state's scratch to the pool. The referenced network,
+// CDG and tree are dropped so pooled states never pin a routed fabric.
+func (ls *layerState) release() {
+	ls.net, ls.d, ls.tree, ls.stats = nil, nil, nil, nil
+	ls.isSource = nil
+	layerStatePool.Put(ls)
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growChannels(s []graph.ChannelID, n int) []graph.ChannelID {
+	if cap(s) < n {
+		return make([]graph.ChannelID, n)
+	}
+	return s[:n]
+}
+
+func growBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+func growChannelLists(s [][]graph.ChannelID, n int) [][]graph.ChannelID {
+	if cap(s) < n {
+		return make([][]graph.ChannelID, n)
+	}
+	return s[:n]
 }
 
 func (ls *layerState) resetDest() {
@@ -97,11 +151,7 @@ func (ls *layerState) resetDest() {
 	for i := range ls.chDist {
 		ls.chDist[i] = math.Inf(1)
 	}
-	for {
-		if _, ok := ls.heap.ExtractMin(); !ok {
-			break
-		}
-	}
+	ls.heap.Reset()
 }
 
 // routeDest computes the deadlock-free paths from every node toward dest
@@ -259,9 +309,11 @@ func (ls *layerState) commit(cq graph.ChannelID, v graph.NodeID, nd float64) {
 }
 
 // islands returns nodes that the layer's spanning tree reaches but the
-// current routing step does not (§4.6.2).
+// current routing step does not (§4.6.2). The returned slice is scratch,
+// valid until the next call.
 func (ls *layerState) islands(dest graph.NodeID) []graph.NodeID {
-	var out []graph.NodeID
+	out := ls.islandScratch[:0]
+	defer func() { ls.islandScratch = out }()
 	for n := 0; n < ls.net.NumNodes(); n++ {
 		v := graph.NodeID(n)
 		if v == dest || ls.usedChannel[v] != graph.NoChannel {

@@ -10,7 +10,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cdg"
 	"repro/internal/centrality"
@@ -44,11 +46,15 @@ type Options struct {
 	// NaiveCycleSearch disables the ω-numbering optimization (§4.6.1)
 	// and runs a full acyclicity check per edge use; for ablation only.
 	NaiveCycleSearch bool
-	// Parallel routes virtual layers concurrently (one goroutine per
-	// layer). Layers are fully independent — each owns its complete CDG,
-	// spanning tree and channel weights, and writes disjoint table
-	// columns — so the result is bit-identical to the serial run.
-	Parallel bool
+	// Workers bounds the number of OS threads the engine uses: virtual
+	// layers are routed by a pool of at most Workers goroutines, and the
+	// betweenness pass for escape roots shards its sources over the same
+	// budget. 0 means GOMAXPROCS; 1 is the sequential engine. Layers are
+	// fully independent — each owns its complete CDG, spanning tree and
+	// channel weights, and writes disjoint table columns — and the
+	// betweenness reduction order is fixed, so the result is bit-identical
+	// for every worker count.
+	Workers int
 }
 
 // DefaultOptions returns the configuration used in the paper's evaluation.
@@ -58,7 +64,6 @@ func DefaultOptions() Options {
 		CentralRoot:  true,
 		Backtracking: true,
 		Shortcuts:    true,
-		Parallel:     true,
 	}
 }
 
@@ -69,6 +74,14 @@ type Nue struct {
 
 // New returns a Nue engine with the given options.
 func New(opts Options) *Nue { return &Nue{opts: opts} }
+
+// workers resolves Options.Workers to an effective pool size.
+func (n *Nue) workers() int {
+	if n.opts.Workers > 0 {
+		return n.opts.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Name implements routing.Engine.
 func (n *Nue) Name() string { return "nue" }
@@ -104,26 +117,46 @@ func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*rout
 
 	// Each layer owns its complete CDG, escape tree and weights, and
 	// writes disjoint table columns (the destinations are partitioned),
-	// so layers can run concurrently with bit-identical results.
+	// so layers can run concurrently with bit-identical results. Layer
+	// seeds are drawn up front from the run's rng, so the per-layer
+	// streams do not depend on scheduling order.
 	layerStats := make([]Stats, len(parts))
 	layerErrs := make([]error, len(parts))
 	layerSeeds := make([]int64, len(parts))
 	for li := range parts {
 		layerSeeds[li] = rng.Int63()
 	}
+	// The pool budget is split between layer-level parallelism and the
+	// per-layer betweenness sharding: with fewer layers than workers the
+	// leftover workers speed up each layer's root search instead.
+	workers := n.workers()
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	bwWorkers := n.workers() / len(parts)
+	if bwWorkers < 1 {
+		bwWorkers = 1
+	}
 	routeOne := func(li int) {
 		lrng := rand.New(rand.NewSource(layerSeeds[li]))
 		layerErrs[li] = n.routeLayer(net, table, destLayer, uint8(li), parts[li],
-			isSource, &layerStats[li], lrng)
+			isSource, &layerStats[li], lrng, bwWorkers)
 	}
-	if n.opts.Parallel && len(parts) > 1 {
+	if workers > 1 {
+		var next int32
 		var wg sync.WaitGroup
-		for li := range parts {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func(li int) {
+			go func() {
 				defer wg.Done()
-				routeOne(li)
-			}(li)
+				for {
+					li := int(atomic.AddInt32(&next, 1)) - 1
+					if li >= len(parts) {
+						return
+					}
+					routeOne(li)
+				}
+			}()
 		}
 		wg.Wait()
 	} else {
@@ -159,10 +192,11 @@ func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*rout
 }
 
 // routeLayer runs lines 3-11 of Algorithm 2 for one virtual layer.
+// bwWorkers is the betweenness worker budget for the escape-root search.
 func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []uint8, layer uint8,
-	part []graph.NodeID, isSource []bool, stats *Stats, rng *rand.Rand) error {
+	part []graph.NodeID, isSource []bool, stats *Stats, rng *rand.Rand, bwWorkers int) error {
 
-	root := n.pickRoot(net, part, rng)
+	root := n.pickRoot(net, part, rng, bwWorkers)
 	if root == graph.NoNode {
 		return errors.New("no usable escape-path root")
 	}
@@ -178,6 +212,7 @@ func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []u
 	stats.EscapeDeps += ep.Deps
 
 	ls := newLayerState(net, d, tree, n.opts, isSource, stats)
+	defer ls.release()
 	for _, dest := range part {
 		destLayer[table.DestIndex(dest)] = layer
 		parent, fellBack := ls.routeDest(dest)
@@ -207,7 +242,7 @@ func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []u
 }
 
 // pickRoot chooses the escape-path root for a layer.
-func (n *Nue) pickRoot(net *graph.Network, part []graph.NodeID, rng *rand.Rand) graph.NodeID {
+func (n *Nue) pickRoot(net *graph.Network, part []graph.NodeID, rng *rand.Rand, bwWorkers int) graph.NodeID {
 	if !n.opts.CentralRoot {
 		// Ablation: attachment switch of a random destination.
 		d := part[rng.Intn(len(part))]
@@ -216,7 +251,7 @@ func (n *Nue) pickRoot(net *graph.Network, part []graph.NodeID, rng *rand.Rand) 
 		}
 		return d
 	}
-	root := centrality.RootForDestinations(net, part)
+	root := centrality.RootForDestinationsN(net, part, bwWorkers)
 	if root != graph.NoNode && net.IsTerminal(root) && net.Degree(root) > 0 {
 		// A terminal root works but wastes a hop; hoist to its switch.
 		root = net.TerminalSwitch(root)

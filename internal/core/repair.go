@@ -72,7 +72,9 @@ func (n *Nue) RepairLayer(req RepairRequest) (*RepairStats, error) {
 		return stats, nil
 	}
 	rng := rand.New(rand.NewSource(n.opts.Seed))
-	root := n.pickRoot(net, routable, rng)
+	// Repairs run one per layer (often concurrently, under the fabric
+	// manager), so each keeps its betweenness pass single-threaded.
+	root := n.pickRoot(net, routable, rng, 1)
 	if root == graph.NoNode {
 		return stats, errors.New("core: no usable escape-path root for repair")
 	}
@@ -154,6 +156,7 @@ func (n *Nue) repairAttempt(req RepairRequest, tree *graph.Tree, routable []grap
 	}
 
 	ls := newLayerState(net, d, tree, n.opts, n.sourceMask(net), &stats.Stats)
+	defer ls.release()
 	for _, dest := range routable {
 		parent, fellBack := ls.routeDest(dest)
 		if fellBack {

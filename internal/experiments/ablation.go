@@ -63,7 +63,7 @@ func Ablation(cfg AblationConfig) []AblationRow {
 		for i, v := range variants {
 			opts := core.DefaultOptions()
 			opts.Seed = cfg.Seed + int64(trial)
-			opts.Parallel = false // measure single-threaded algorithmic cost
+			opts.Workers = 1 // measure single-threaded algorithmic cost
 			v.mutate(&opts)
 			start := time.Now()
 			res, err := core.New(opts).Route(tp.Net, dests, cfg.VCs)

@@ -27,6 +27,9 @@ type ChurnConfig struct {
 	// reported as such.
 	Algorithms []string
 	Seed       int64
+	// Workers bounds Nue's routing goroutines (0 = GOMAXPROCS); the
+	// output is identical for every value.
+	Workers int
 }
 
 // DefaultChurnConfig degrades a 4x4x4 torus three times by ~2% each.
@@ -72,7 +75,7 @@ func Churn(cfg ChurnConfig) []ChurnRow {
 		dests := connectedTerminals(cur.Net)
 		for _, name := range cfg.Algorithms {
 			row := ChurnRow{Step: step, Failed: failedTotal, Algorithm: name}
-			eng, err := EngineByName(name, cur, cfg.Seed)
+			eng, err := EngineByNameWorkers(name, cur, cfg.Seed, cfg.Workers)
 			if err != nil {
 				row.Err = err.Error()
 				rows = append(rows, row)

@@ -24,6 +24,9 @@ type ChurnLiveConfig struct {
 	// MaxVCs is the VC budget.
 	MaxVCs int
 	Seed   int64
+	// Workers bounds each manager's routing and repair goroutines
+	// (0 = GOMAXPROCS); forwarding state is identical for every value.
+	Workers int
 }
 
 // DefaultChurnLiveConfig churns a 4x4x4 torus for 20 events.
@@ -50,11 +53,11 @@ type ChurnLiveRow struct {
 // freedom); an invalid transition surfaces as an error.
 func ChurnLive(cfg ChurnLiveConfig) ([]ChurnLiveRow, error) {
 	tp := topology.Torus3D(4, 4, 4, 1, 1)
-	inc, err := fabric.NewManager(tp, fabric.Options{MaxVCs: cfg.MaxVCs, Seed: cfg.Seed, Verify: true})
+	inc, err := fabric.NewManager(tp, fabric.Options{MaxVCs: cfg.MaxVCs, Seed: cfg.Seed, Verify: true, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("incremental manager: %w", err)
 	}
-	full, err := fabric.NewManager(tp, fabric.Options{MaxVCs: cfg.MaxVCs, Seed: cfg.Seed, Verify: true, FullRecompute: true})
+	full, err := fabric.NewManager(tp, fabric.Options{MaxVCs: cfg.MaxVCs, Seed: cfg.Seed, Verify: true, FullRecompute: true, Workers: cfg.Workers})
 	if err != nil {
 		return nil, fmt.Errorf("full-recompute manager: %w", err)
 	}

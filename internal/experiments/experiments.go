@@ -32,8 +32,16 @@ import (
 // NueEngine builds a Nue engine with the evaluation defaults and the
 // given seed.
 func NueEngine(seed int64) routing.Engine {
+	return NueEngineWorkers(seed, 0)
+}
+
+// NueEngineWorkers is NueEngine with an explicit worker budget
+// (0 = GOMAXPROCS). The routing produced is bit-identical for every
+// worker count, so experiments stay reproducible regardless of the host.
+func NueEngineWorkers(seed int64, workers int) routing.Engine {
 	opts := core.DefaultOptions()
 	opts.Seed = seed
+	opts.Workers = workers
 	return core.New(opts)
 }
 
@@ -59,9 +67,15 @@ func Baselines(tp *topology.Topology) []routing.Engine {
 // required. Valid names: nue, updn, lash, dfsssp, ftree, torus2qos, dor,
 // minhop, sssp.
 func EngineByName(name string, tp *topology.Topology, seed int64) (routing.Engine, error) {
+	return EngineByNameWorkers(name, tp, seed, 0)
+}
+
+// EngineByNameWorkers is EngineByName with an explicit worker budget for
+// the engines that parallelize (currently Nue); the others ignore it.
+func EngineByNameWorkers(name string, tp *topology.Topology, seed int64, workers int) (routing.Engine, error) {
 	switch name {
 	case "nue":
-		return NueEngine(seed), nil
+		return NueEngineWorkers(seed, workers), nil
 	case "updn":
 		return updn.Engine{}, nil
 	case "mupdn":

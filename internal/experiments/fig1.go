@@ -20,6 +20,9 @@ type Fig1Config struct {
 	MaxVCs int
 	// Seed drives Nue partitioning.
 	Seed int64
+	// Workers bounds Nue's routing goroutines (0 = GOMAXPROCS); the
+	// output is identical for every value.
+	Workers int
 }
 
 // DefaultFig1Config mirrors the paper: 4x4x3 torus, 4 terminals/switch,
@@ -42,7 +45,7 @@ func Fig1(cfg Fig1Config) []ThroughputRow {
 		rows = append(rows, runWithVCBudget(faulty, eng, cfg.MaxVCs, cfg.Phases, cfg.Sim))
 	}
 	for k := 1; k <= cfg.MaxVCs; k++ {
-		row := routeAndSimulate(faulty, NueEngine(cfg.Seed), k, cfg.Phases, cfg.Sim)
+		row := routeAndSimulate(faulty, NueEngineWorkers(cfg.Seed, cfg.Workers), k, cfg.Phases, cfg.Sim)
 		row.Routing = nueName(k)
 		rows = append(rows, row)
 	}

@@ -24,6 +24,9 @@ type Fig10Config struct {
 	Topologies []string
 	// Seed drives the random topology and Nue partitioning.
 	Seed int64
+	// Workers bounds Nue's routing goroutines (0 = GOMAXPROCS); the
+	// output is identical for every value.
+	Workers int
 }
 
 // DefaultFig10Config returns a reduced-phase configuration (use Phases=0
@@ -68,7 +71,7 @@ func Fig10(cfg Fig10Config) []ThroughputRow {
 			rows = append(rows, routeAndSimulate(tp, eng, cfg.MaxVCs, cfg.Phases, cfg.Sim))
 		}
 		for _, k := range cfg.NueVCs {
-			row := routeAndSimulate(tp, NueEngine(cfg.Seed), k, cfg.Phases, cfg.Sim)
+			row := routeAndSimulate(tp, NueEngineWorkers(cfg.Seed, cfg.Workers), k, cfg.Phases, cfg.Sim)
 			row.Routing = nueName(k)
 			rows = append(rows, row)
 		}

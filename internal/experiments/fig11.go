@@ -27,6 +27,9 @@ type Fig11Config struct {
 	Verify bool
 	// Seed drives failure injection.
 	Seed int64
+	// Workers bounds Nue's routing goroutines (0 = GOMAXPROCS). Worker
+	// counts above 1 change the measured wall-clock, never the routes.
+	Workers int
 }
 
 // DefaultFig11Config covers tori up to 6x6x6 (use MaxDim=10 for the full
@@ -60,7 +63,7 @@ func fig11(cfg Fig11Config, onRow func(Fig11Row)) []Fig11Row {
 		faulty, _ := topology.InjectLinkFailures(tp, rngFor(cfg.Seed, trial), cfg.FailureRate)
 		dests := connectedTerminals(faulty.Net)
 		engines := []routing.Engine{
-			NueEngine(cfg.Seed),
+			NueEngineWorkers(cfg.Seed, cfg.Workers),
 			dfssspEngine(),
 			lashEngine(),
 			dor.Engine{Meta: faulty.Torus, Datelines: true},

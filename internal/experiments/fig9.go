@@ -23,6 +23,9 @@ type Fig9Config struct {
 	NueVCs []int
 	// Seed drives topology generation and partitioning.
 	Seed int64
+	// Workers bounds Nue's routing goroutines (0 = GOMAXPROCS); the
+	// output is identical for every value.
+	Workers int
 }
 
 // DefaultFig9Config returns the paper's topology parameters with a
@@ -113,6 +116,7 @@ func Fig9(cfg Fig9Config) []Fig9Row {
 		for _, k := range cfg.NueVCs {
 			opts := core.DefaultOptions()
 			opts.Seed = cfg.Seed + int64(trial)
+			opts.Workers = cfg.Workers
 			run(nueName(k), core.New(opts), k)
 		}
 	}

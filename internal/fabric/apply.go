@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -192,35 +193,57 @@ func (m *Manager) retable(old *Snapshot, newNet *graph.Network, changed []graph.
 	sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
 
 	// Layers own disjoint table columns, so their repairs run in
-	// parallel, exactly like Nue's full routing runs its layers.
+	// parallel, exactly like Nue's full routing runs its layers — bounded
+	// by the manager's worker budget so a burst of churn events cannot
+	// oversubscribe the host.
 	stats := make([]*core.RepairStats, len(layers))
 	rebuilt := make([]bool, len(layers))
 	errs := make([]error, len(layers))
-	var wg sync.WaitGroup
-	for i, l := range layers {
-		wg.Add(1)
-		go func(i int, l uint8) {
-			defer wg.Done()
+	repairOne := func(i int, l uint8) {
+		stats[i], errs[i] = m.nue.RepairLayer(core.RepairRequest{
+			Net:    newNet,
+			Table:  table,
+			Repair: byLayer[l],
+			Kept:   keptByLayer[l],
+		})
+		if errors.Is(errs[i], core.ErrRepairInfeasible) {
+			// The kept routes conflict with the repair's escape paths:
+			// widen to the whole layer, which always succeeds.
+			rebuilt[i] = true
+			all := append(append([]graph.NodeID(nil), byLayer[l]...), keptByLayer[l]...)
 			stats[i], errs[i] = m.nue.RepairLayer(core.RepairRequest{
 				Net:    newNet,
 				Table:  table,
-				Repair: byLayer[l],
-				Kept:   keptByLayer[l],
+				Repair: all,
 			})
-			if errors.Is(errs[i], core.ErrRepairInfeasible) {
-				// The kept routes conflict with the repair's escape paths:
-				// widen to the whole layer, which always succeeds.
-				rebuilt[i] = true
-				all := append(append([]graph.NodeID(nil), byLayer[l]...), keptByLayer[l]...)
-				stats[i], errs[i] = m.nue.RepairLayer(core.RepairRequest{
-					Net:    newNet,
-					Table:  table,
-					Repair: all,
-				})
-			}
-		}(i, l)
+		}
 	}
-	wg.Wait()
+	workers := m.opts.workers()
+	if workers > len(layers) {
+		workers = len(layers)
+	}
+	if workers <= 1 {
+		for i, l := range layers {
+			repairOne(i, l)
+		}
+	} else {
+		var next int32
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(atomic.AddInt32(&next, 1)) - 1
+					if i >= len(layers) {
+						return
+					}
+					repairOne(i, layers[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	for i, l := range layers {
 		if errs[i] != nil {
 			// Last resort: re-route the whole fabric.

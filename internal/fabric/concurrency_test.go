@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/routing/verify"
 	"repro/internal/topology"
 )
 
@@ -83,5 +84,76 @@ func TestConcurrentReadersDuringChurn(t *testing.T) {
 	}
 	if m.Epoch() == 0 {
 		t.Fatal("no epoch advanced during the churn")
+	}
+}
+
+// TestSimultaneousChurnAppliers drives reconfigurations from several
+// goroutines at once — the per-layer repairs of concurrent events must
+// serialize on the manager lock while their layer workers run in parallel
+// — with readers and metrics scrapes racing the publications. Run under
+// -race; it pins down that snapshot publication (atomic pointer swap +
+// deep-cloned tables) has no data race even when events arrive faster
+// than repairs complete. The final state must still verify deadlock-free.
+func TestSimultaneousChurnAppliers(t *testing.T) {
+	tp := topology.Torus3D(4, 4, 2, 1, 1)
+	m, err := NewManager(tp, Options{MaxVCs: 4, Seed: 3, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wgAppliers, wgReaders sync.WaitGroup
+	errCh := make(chan error, 16)
+	const appliers, eventsPer = 4, 8
+	for a := 0; a < appliers; a++ {
+		wgAppliers.Add(1)
+		go func(seed int64) {
+			defer wgAppliers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < eventsPer; i++ {
+				// RandomEvent and Apply take the manager lock separately, so
+				// an event may be stale (already applied by a sibling) by the
+				// time it lands; Apply must degrade it to a no-op, never to
+				// an inconsistent snapshot.
+				ev, ok := m.RandomEvent(rng, 0.5)
+				if !ok {
+					continue
+				}
+				if _, err := m.Apply(ev); err != nil {
+					errCh <- fmt.Errorf("apply %s: %w", ev, err)
+					return
+				}
+			}
+		}(int64(200 + a))
+	}
+
+	var done atomic.Bool
+	for r := 0; r < 2; r++ {
+		wgReaders.Add(1)
+		go func(seed int64) {
+			defer wgReaders.Done()
+			rng := rand.New(rand.NewSource(seed))
+			terms := m.View().Net.Terminals()
+			for !done.Load() {
+				snap := m.View()
+				src, dst := terms[rng.Intn(len(terms))], terms[rng.Intn(len(terms))]
+				if src != dst {
+					snap.Result.Table.Path(src, dst) // may legitimately fail mid-churn
+				}
+				m.Metrics()
+			}
+		}(int64(300 + r))
+	}
+
+	wgAppliers.Wait()
+	done.Store(true)
+	wgReaders.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	snap := m.View()
+	if _, err := verify.Check(snap.Net, snap.Result, nil); err != nil {
+		t.Fatalf("final snapshot invalid after simultaneous churn: %v", err)
 	}
 }

@@ -23,6 +23,7 @@ package fabric
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -47,6 +48,18 @@ type Options struct {
 	// the entire fabric (the baseline the churn experiment compares
 	// against).
 	FullRecompute bool
+	// Workers bounds the goroutines used for routing and for concurrent
+	// per-layer repairs (0 = GOMAXPROCS). Repair output is identical for
+	// every worker count.
+	Workers int
+}
+
+// workers resolves Options.Workers to an effective pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Snapshot is one immutable epoch of the fabric: a network view and the
@@ -104,6 +117,7 @@ func NewManager(tp *topology.Topology, opts Options) (*Manager, error) {
 	}
 	nopts := core.DefaultOptions()
 	nopts.Seed = opts.Seed
+	nopts.Workers = opts.Workers
 	m := &Manager{
 		opts:       opts,
 		nue:        core.New(nopts),

@@ -23,11 +23,17 @@ type node struct {
 // Heap is a Fibonacci min-heap over integer items with float64 keys.
 // The zero value is not usable; call New.
 type Heap struct {
-	min    *node
-	n      int
-	handle []*node // item -> node, nil if absent
-	free   []*node // recycled nodes (hot loops insert/extract millions)
+	min     *node
+	n       int
+	handle  []*node // item -> node, nil if absent
+	free    []*node // recycled nodes (hot loops insert/extract millions)
+	scratch []*node // traversal stack reused by Reset
 }
+
+// slabSize is the number of nodes allocated at once when the free list
+// runs dry; chunked allocation keeps the allocation count per routing run
+// proportional to peak heap size / slabSize instead of to inserts.
+const slabSize = 64
 
 // New returns an empty heap able to hold items in [0, capacity).
 func New(capacity int) *Heap {
@@ -36,6 +42,9 @@ func New(capacity int) *Heap {
 
 // Len returns the number of items in the heap.
 func (h *Heap) Len() int { return h.n }
+
+// Cap returns the item capacity the heap was created with.
+func (h *Heap) Cap() int { return len(h.handle) }
 
 // Contains reports whether item is currently in the heap.
 func (h *Heap) Contains(item int) bool { return h.handle[item] != nil }
@@ -55,14 +64,15 @@ func (h *Heap) Insert(item int, key float64) {
 	if h.handle[item] != nil {
 		panic("fibheap: duplicate insert")
 	}
-	var nd *node
-	if l := len(h.free); l > 0 {
-		nd = h.free[l-1]
-		h.free = h.free[:l-1]
-		*nd = node{item: item, key: key}
-	} else {
-		nd = &node{item: item, key: key}
+	if len(h.free) == 0 {
+		slab := make([]node, slabSize)
+		for i := range slab {
+			h.free = append(h.free, &slab[i])
+		}
 	}
+	nd := h.free[len(h.free)-1]
+	h.free = h.free[:len(h.free)-1]
+	*nd = node{item: item, key: key}
 	nd.left = nd
 	nd.right = nd
 	h.handle[item] = nd
@@ -249,6 +259,44 @@ func (h *Heap) cut(nd, p *node) {
 	nd.left = nd
 	nd.right = nd
 	h.addToRoots(nd)
+}
+
+// Reset empties the heap in O(Len()) without the O(n log n) cost of
+// repeated ExtractMin, recycling every node onto the free list. Dijkstra
+// callers reset between destinations instead of draining.
+func (h *Heap) Reset() {
+	if h.min == nil {
+		return
+	}
+	stack := h.scratch[:0]
+	r := h.min
+	for {
+		stack = append(stack, r)
+		r = r.right
+		if r == h.min {
+			break
+		}
+	}
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c := nd.child; c != nil {
+			cc := c
+			for {
+				stack = append(stack, cc)
+				cc = cc.right
+				if cc == c {
+					break
+				}
+			}
+		}
+		h.handle[nd.item] = nil
+		nd.parent, nd.child = nil, nil
+		h.free = append(h.free, nd)
+	}
+	h.min = nil
+	h.n = 0
+	h.scratch = stack[:0]
 }
 
 // cascadingCut walks up marking/cutting ancestors per the standard scheme.

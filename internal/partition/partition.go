@@ -205,8 +205,7 @@ func buildSwitchGraph(g *graph.Network, switches []graph.NodeID) *coarseGraph {
 	for i := range cg.vw {
 		cg.vw[i] = 1
 	}
-	type pair struct{ a, b int }
-	weight := make(map[pair]int)
+	rows := make([][]edgeW, len(switches))
 	for _, s := range switches {
 		for _, c := range g.Out(s) {
 			t := g.Channel(c).To
@@ -216,18 +215,36 @@ func buildSwitchGraph(g *graph.Network, switches []graph.NodeID) *coarseGraph {
 			}
 			i := idx[s]
 			if i < j {
-				weight[pair{i, j}]++
+				rows[i] = append(rows[i], edgeW{j, 1})
 			}
 		}
 	}
-	for p, w := range weight {
-		cg.adj[p.a] = append(cg.adj[p.a], edgeW{p.b, w})
-		cg.adj[p.b] = append(cg.adj[p.b], edgeW{p.a, w})
-	}
-	for i := range cg.adj {
-		sort.Slice(cg.adj[i], func(a, b int) bool { return cg.adj[i][a].to < cg.adj[i][b].to })
-	}
+	mergeSymmetric(rows, cg.adj)
 	return cg
+}
+
+// mergeSymmetric folds per-vertex edge buckets (entries (b, w) with b > a
+// on row a, possibly repeated) into a symmetric weighted adjacency with
+// parallels merged, without the map the previous implementation allocated
+// per build. Rows end up sorted by neighbor ID.
+func mergeSymmetric(rows, adj [][]edgeW) {
+	for a, list := range rows {
+		if len(list) == 0 {
+			continue
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].to < list[j].to })
+		for i := 0; i < len(list); {
+			b, w := list[i].to, 0
+			for ; i < len(list) && list[i].to == b; i++ {
+				w += list[i].w
+			}
+			adj[a] = append(adj[a], edgeW{b, w})
+			adj[b] = append(adj[b], edgeW{a, w})
+		}
+	}
+	for i := range adj {
+		sort.Slice(adj[i], func(a, b int) bool { return adj[i][a].to < adj[i][b].to })
+	}
 }
 
 // coarsen performs one level of heavy-edge matching. Returns nil when the
@@ -269,22 +286,16 @@ func (cg *coarseGraph) coarsen(rng *rand.Rand) *coarseGraph {
 	for v := 0; v < cg.n; v++ {
 		nxt.vw[coarseID[v]] += cg.vw[v]
 	}
-	weight := make(map[[2]int]int)
+	rows := make([][]edgeW, nc)
 	for v := 0; v < cg.n; v++ {
 		for _, e := range cg.adj[v] {
 			a, b := coarseID[v], coarseID[e.to]
 			if a < b {
-				weight[[2]int{a, b}] += e.w
+				rows[a] = append(rows[a], edgeW{b, e.w})
 			}
 		}
 	}
-	for p, w := range weight {
-		nxt.adj[p[0]] = append(nxt.adj[p[0]], edgeW{p[1], w})
-		nxt.adj[p[1]] = append(nxt.adj[p[1]], edgeW{p[0], w})
-	}
-	for i := range nxt.adj {
-		sort.Slice(nxt.adj[i], func(a, b int) bool { return nxt.adj[i][a].to < nxt.adj[i][b].to })
-	}
+	mergeSymmetric(rows, nxt.adj)
 	return nxt
 }
 
