@@ -1,0 +1,106 @@
+package repro
+
+// The benchmark guard compares the committed BENCH_pr*.json baselines so
+// a perf regression fails CI deterministically (no live measurement, no
+// flakiness from loaded runners). Each PR that touches the routing hot
+// path records a new baseline with the command in the JSON's description
+// and the guard pins it against the previous PR's numbers.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+type benchBaseline struct {
+	Description string `json:"description"`
+	Cores       int    `json:"cores"`
+	Benchmarks  []struct {
+		Name        string `json:"name"`
+		NsPerOp     int64  `json:"ns_per_op"`
+		BytesPerOp  int64  `json:"bytes_per_op"`
+		AllocsPerOp int64  `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+func loadBaseline(t *testing.T, path string) map[string]int64 {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing benchmark baseline: %v", err)
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	out := make(map[string]int64, len(b.Benchmarks))
+	for _, e := range b.Benchmarks {
+		if e.NsPerOp <= 0 {
+			t.Fatalf("%s: %s has non-positive ns_per_op", path, e.Name)
+		}
+		out[e.Name] = e.NsPerOp
+	}
+	return out
+}
+
+// TestBenchGuardRouteParallel: the telemetry-off routing path must not
+// have regressed more than 5% against the previous PR's recorded ops.
+// Both baselines were recorded on the same class of machine with the
+// command in their descriptions; re-record BENCH_pr3.json (and this
+// guard's expectations) when hardware changes.
+func TestBenchGuardRouteParallel(t *testing.T) {
+	prev := loadBaseline(t, "BENCH_pr2.json")
+	cur := loadBaseline(t, "BENCH_pr3.json")
+	const tolerance = 1.05
+	checked := 0
+	for name, was := range prev {
+		now, ok := cur[name]
+		if !ok {
+			continue // pr3 records a superset; missing shared keys are checked below
+		}
+		checked++
+		if float64(now) > float64(was)*tolerance {
+			t.Errorf("%s regressed: %d ns/op vs %d ns/op (>%.0f%%)",
+				name, now, was, (tolerance-1)*100)
+		}
+	}
+	for _, name := range []string{
+		"BenchmarkRouteParallel/workers=1",
+		"BenchmarkRouteParallel/workers=4",
+		"BenchmarkRouteParallel/workers=8",
+	} {
+		if _, ok := cur[name]; !ok {
+			t.Errorf("BENCH_pr3.json is missing %s", name)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("baselines share no benchmark names; guard checked nothing")
+	}
+}
+
+// TestBenchGuardTelemetryOverhead: within the pr3 recording, the
+// telemetry-on sweep must stay within 5% of the telemetry-off sweep —
+// the recorded form of the zero-overhead-when-off design contract
+// (DESIGN.md §10). Both variants come from one recording session, so the
+// comparison is hardware-controlled.
+func TestBenchGuardTelemetryOverhead(t *testing.T) {
+	cur := loadBaseline(t, "BENCH_pr3.json")
+	const tolerance = 1.05
+	checked := 0
+	for _, w := range []string{"1", "4", "8"} {
+		off, okOff := cur["BenchmarkRouteParallel/workers="+w]
+		on, okOn := cur["BenchmarkRouteParallelTelemetry/workers="+w]
+		if !okOff || !okOn {
+			t.Errorf("workers=%s: missing telemetry on/off pair in BENCH_pr3.json", w)
+			continue
+		}
+		checked++
+		if float64(on) > float64(off)*tolerance {
+			t.Errorf("workers=%s: telemetry-on %d ns/op vs off %d ns/op (>%.0f%% overhead)",
+				w, on, off, (tolerance-1)*100)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no telemetry on/off pairs recorded")
+	}
+}

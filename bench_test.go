@@ -201,7 +201,22 @@ func BenchmarkBetweenness(b *testing.B) {
 // with the layer pool bounded to 1, 4 and 8 workers. The forwarding
 // tables are bit-identical across the sweep (see
 // core.TestDeterministicAcrossWorkers); only wall-clock may differ.
+// Telemetry is off — this is the baseline the benchmark guard
+// (TestBenchGuardRouteParallel) compares across PRs.
 func BenchmarkRouteParallel(b *testing.B) {
+	benchRouteParallel(b, false)
+}
+
+// BenchmarkRouteParallelTelemetry is the identical sweep with a live
+// telemetry registry attached. The contract under test: instrumentation
+// adds one aggregated atomic publish per layer plus phase timestamps, so
+// the delta vs. BenchmarkRouteParallel stays in the noise.
+func BenchmarkRouteParallelTelemetry(b *testing.B) {
+	benchRouteParallel(b, true)
+}
+
+func benchRouteParallel(b *testing.B, withTelemetry bool) {
+	b.Helper()
 	tp := topology.Torus3D(8, 8, 8, 1, 1)
 	dests := tp.Net.Terminals()
 	for _, workers := range []int{1, 4, 8} {
@@ -209,6 +224,9 @@ func BenchmarkRouteParallel(b *testing.B) {
 			opts := DefaultNueOptions()
 			opts.Seed = 1
 			opts.Workers = workers
+			if withTelemetry {
+				opts.Telemetry = NewTelemetry().Engine()
+			}
 			eng := core.New(opts)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {

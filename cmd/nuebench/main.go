@@ -14,12 +14,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -32,9 +34,15 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed for topologies and partitioning")
 		workers = flag.Int("workers", 0, "Nue routing goroutines, 0 = GOMAXPROCS (routes are identical for every value)")
 		verify  = flag.Bool("verify", false, "fig11: verify deadlock freedom of every result (slow)")
+		telem   = flag.Bool("telemetry", false, "instrument the runs (currently fig1) and append a JSON metrics dump")
 		out     = flag.String("o", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telem {
+		reg = telemetry.New()
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -55,6 +63,7 @@ func main() {
 			cfg := experiments.DefaultFig1Config()
 			cfg.Seed = *seed
 			cfg.Workers = *workers
+			cfg.Telemetry = reg
 			if *maxVCs > 0 {
 				cfg.MaxVCs = *maxVCs
 			}
@@ -122,7 +131,16 @@ func main() {
 		for _, name := range []string{"table1", "fig1", "fig9", "fig10", "fig11"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+
+	if reg != nil {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reg.Snapshot()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }

@@ -17,13 +17,18 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -40,8 +45,22 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed for routing and churn")
 		verify    = flag.Bool("verify", true, "verify connectivity + deadlock freedom per event")
 		full      = flag.Bool("full", false, "disable incremental repair (full recompute per event)")
+		telemAddr = flag.String("telemetry-addr", "", "serve Prometheus /metrics, /telemetry.json and net/http/pprof on this address (e.g. :9090; empty = off)")
+		interval  = flag.Duration("event-interval", 0, "pause between churn events (gives scrapers a live view)")
+		hold      = flag.Duration("hold", 0, "keep running (and serving telemetry) this long after the last event")
 	)
 	flag.Parse()
+
+	var reg *telemetry.Registry
+	if *telemAddr != "" {
+		reg = telemetry.New()
+		addr, err := serveTelemetry(*telemAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# telemetry: http://%s/metrics (Prometheus), /telemetry.json, /debug/pprof/\n", addr)
+	}
 
 	tp, err := makeTopology(*topo, *dims, *terminals, *seed)
 	if err != nil {
@@ -50,10 +69,12 @@ func main() {
 	}
 	start := time.Now()
 	m, err := fabric.NewManager(tp, fabric.Options{
-		MaxVCs:        *vcs,
-		Seed:          *seed,
-		Verify:        *verify,
-		FullRecompute: *full,
+		MaxVCs:          *vcs,
+		Seed:            *seed,
+		Verify:          *verify,
+		FullRecompute:   *full,
+		Telemetry:       reg.Fabric(),
+		EngineTelemetry: reg.Engine(),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -104,6 +125,9 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println(rep)
+		if *interval > 0 && i < n-1 {
+			time.Sleep(*interval)
+		}
 	}
 
 	mt := m.Metrics()
@@ -112,6 +136,41 @@ func main() {
 		100*float64(mt.RepairedDests)/float64(max(1, mt.DestRoutes)), mt.LayerRebuilds, mt.FullRecomputes)
 	fmt.Printf("# table entries: %.1f%% unchanged across events; total repair time %s\n",
 		100*mt.Delta.UnchangedFraction(), mt.RepairTime.Round(time.Millisecond))
+	if *hold > 0 {
+		fmt.Printf("# holding for %s (telemetry stays scrapeable)\n", *hold)
+		time.Sleep(*hold)
+	}
+}
+
+// serveTelemetry starts the observability endpoint: Prometheus text
+// exposition on /metrics, the full registry snapshot on /telemetry.json,
+// and the standard net/http/pprof handlers under /debug/pprof/. It
+// returns the resolved listen address (useful with ":0").
+func serveTelemetry(addr string, reg *telemetry.Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/telemetry.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, reg.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry server: %v\n", err)
+		}
+	}()
+	return ln.Addr().String(), nil
 }
 
 func makeTopology(name, dims string, t int, seed int64) (*topology.Topology, error) {
@@ -134,6 +193,12 @@ func makeTopology(name, dims string, t int, seed int64) (*topology.Topology, err
 		return topology.Ring(8, t), nil
 	}
 	return nil, fmt.Errorf("unknown topology %q", name)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 func max(a, b int) int {

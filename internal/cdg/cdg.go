@@ -78,10 +78,11 @@ type Graph struct {
 	epoch   int32
 	stack   []graph.ChannelID
 
-	// Stats for ablation/benchmarks.
+	// Stats for ablation/benchmarks/telemetry.
 	CycleSearches int // number of depth-first searches performed
 	EdgesBlocked  int // edges transitioned to blocked
 	Merges        int // subgraph unions
+	EdgeUses      int // TryUseEdge attempts (conditions (a)-(d) evaluated)
 
 	// Naive disables the ω-numbering optimization of §4.6.1: every edge
 	// use runs a full acyclicity check instead of the condition (a)-(d)
@@ -249,6 +250,7 @@ func (g *Graph) TryUseEdge(cp, cq graph.ChannelID) bool {
 
 // TryUseEdgeByID is TryUseEdge with a precomputed edge ID.
 func (g *Graph) TryUseEdgeByID(e int32, cp, cq graph.ChannelID) bool {
+	g.EdgeUses++
 	switch w := g.edOmega[e]; {
 	case w == omegaBlocked:
 		// Condition (a): known to close a cycle.

@@ -63,6 +63,17 @@ type Stats struct {
 	BlockedEdges  int
 	// EscapeDeps counts initial channel dependencies over all layers.
 	EscapeDeps int
+	// DijkstraRuns counts modified-Dijkstra runs (one per destination
+	// handed to routeDest, including runs that end in an escape
+	// fallback).
+	DijkstraRuns int
+	// ShortcutTakes counts settled nodes improved through a former
+	// island (§4.6.3); BlockedSkips counts blocked complete-CDG edges
+	// skipped during relaxation; EdgeUses aggregates the CDG's
+	// TryUseEdge attempts.
+	ShortcutTakes int
+	BlockedSkips  int
+	EdgeUses      int
 }
 
 // layerStatePool recycles layerState scratch (per-layer arrays and the
@@ -162,6 +173,7 @@ func (ls *layerState) resetDest() {
 // in which case parent is nil and callers must route dest over the
 // spanning tree.
 func (ls *layerState) routeDest(dest graph.NodeID) (parent []graph.ChannelID, fellBack bool) {
+	ls.stats.DijkstraRuns++
 	ls.resetDest()
 	ls.nodeDist[dest] = 0
 	// Seed: the out-channels of dest play the role of the fake channel
@@ -227,6 +239,7 @@ func (ls *layerState) relaxFrom(cp graph.ChannelID) {
 	for i, cq := range succ {
 		e := base + int32(i)
 		if ls.d.EdgeState(e) == cdg.Blocked {
+			ls.stats.BlockedSkips++
 			continue
 		}
 		ls.tryAccept(cp, e, cq)
@@ -253,6 +266,9 @@ func (ls *layerState) tryAccept(cp graph.ChannelID, e int32, cq graph.ChannelID)
 	}
 	if !ls.recheckChildren(cq, v) {
 		return false
+	}
+	if ls.popped[v] {
+		ls.stats.ShortcutTakes++
 	}
 	ls.commit(cq, v, nd)
 	return true

@@ -13,12 +13,14 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cdg"
 	"repro/internal/centrality"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 )
 
 // Options configures Nue routing. The zero value is NOT usable; call
@@ -55,6 +57,11 @@ type Options struct {
 	// betweenness reduction order is fixed, so the result is bit-identical
 	// for every worker count.
 	Workers int
+	// Telemetry, when non-nil, receives runtime counters and per-layer
+	// phase timings. Telemetry is observation-only: routing output is
+	// bit-identical with it on or off, and a nil bundle (the default)
+	// records nothing.
+	Telemetry *telemetry.EngineMetrics
 }
 
 // DefaultOptions returns the configuration used in the paper's evaluation.
@@ -108,8 +115,16 @@ func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*rout
 	if len(routable) == 0 {
 		return nil, errors.New("nue: no connected destinations")
 	}
+	tm := n.opts.Telemetry
+	var partStart time.Time
+	if tm != nil {
+		partStart = time.Now()
+	}
 	rng := rand.New(rand.NewSource(n.opts.Seed))
 	parts := partition.Split(net, routable, maxVCs, n.opts.Partition, rng)
+	if tm != nil {
+		tm.PartitionNanos.Add(time.Since(partStart).Nanoseconds())
+	}
 
 	table := routing.NewTable(net, dests)
 	destLayer := make([]uint8, len(dests))
@@ -175,6 +190,15 @@ func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*rout
 		stats.CycleSearches += s.CycleSearches
 		stats.BlockedEdges += s.BlockedEdges
 		stats.EscapeDeps += s.EscapeDeps
+		stats.DijkstraRuns += s.DijkstraRuns
+		stats.ShortcutTakes += s.ShortcutTakes
+		stats.BlockedSkips += s.BlockedSkips
+		stats.EdgeUses += s.EdgeUses
+	}
+	if tm != nil {
+		tm.Routes.Inc()
+		tm.Layers.Add(int64(len(parts)))
+		stats.report(tm)
 	}
 	return &routing.Result{
 		Algorithm: "nue",
@@ -187,8 +211,25 @@ func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*rout
 			"cycle_searches":   float64(stats.CycleSearches),
 			"blocked_edges":    float64(stats.BlockedEdges),
 			"escape_deps":      float64(stats.EscapeDeps),
+			"dijkstra_runs":    float64(stats.DijkstraRuns),
+			"shortcut_takes":   float64(stats.ShortcutTakes),
+			"blocked_skips":    float64(stats.BlockedSkips),
+			"edge_uses":        float64(stats.EdgeUses),
 		},
 	}, nil
+}
+
+// report publishes the run's aggregated counters into the telemetry
+// bundle (one atomic add per counter, outside any hot path).
+func (s *Stats) report(tm *telemetry.EngineMetrics) {
+	tm.DijkstraRuns.Add(int64(s.DijkstraRuns))
+	tm.EscapeFallbacks.Add(int64(s.EscapeFallbacks))
+	tm.IslandsResolved.Add(int64(s.IslandsResolved))
+	tm.ShortcutTakes.Add(int64(s.ShortcutTakes))
+	tm.BlockedEncounters.Add(int64(s.BlockedSkips))
+	tm.CycleSearches.Add(int64(s.CycleSearches))
+	tm.EdgesBlocked.Add(int64(s.BlockedEdges))
+	tm.EdgeUses.Add(int64(s.EdgeUses))
 }
 
 // routeLayer runs lines 3-11 of Algorithm 2 for one virtual layer.
@@ -196,7 +237,18 @@ func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*rout
 func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []uint8, layer uint8,
 	part []graph.NodeID, isSource []bool, stats *Stats, rng *rand.Rand, bwWorkers int) error {
 
+	tm := n.opts.Telemetry
+	var phaseStart time.Time
+	if tm != nil {
+		phaseStart = time.Now()
+	}
 	root := n.pickRoot(net, part, rng, bwWorkers)
+	var bwNanos int64
+	if tm != nil {
+		bwNanos = time.Since(phaseStart).Nanoseconds()
+		tm.BetweennessNanos.Add(bwNanos)
+		tm.LayerBetweennessNanos.Observe(bwNanos)
+	}
 	if root == graph.NoNode {
 		return errors.New("no usable escape-path root")
 	}
@@ -213,6 +265,9 @@ func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []u
 
 	ls := newLayerState(net, d, tree, n.opts, isSource, stats)
 	defer ls.release()
+	if tm != nil {
+		phaseStart = time.Now()
+	}
 	for _, dest := range part {
 		destLayer[table.DestIndex(dest)] = layer
 		parent, fellBack := ls.routeDest(dest)
@@ -234,6 +289,20 @@ func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []u
 	}
 	stats.CycleSearches += d.CycleSearches
 	stats.BlockedEdges += d.EdgesBlocked
+	stats.EdgeUses += d.EdgeUses
+	if tm != nil {
+		dijNanos := time.Since(phaseStart).Nanoseconds()
+		tm.DijkstraNanos.Add(dijNanos)
+		tm.LayerDijkstraNanos.Observe(dijNanos)
+		tm.Events.Emit("engine_layer", map[string]int64{
+			"layer":            int64(layer),
+			"dests":            int64(len(part)),
+			"dijkstra_runs":    int64(stats.DijkstraRuns),
+			"escape_fallbacks": int64(stats.EscapeFallbacks),
+			"betweenness_ns":   bwNanos,
+			"dijkstra_ns":      dijNanos,
+		})
+	}
 	if !d.UsedAcyclic() {
 		// Cannot happen if the CDG machinery is correct; guard anyway.
 		return errors.New("internal error: used CDG became cyclic")

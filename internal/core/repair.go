@@ -180,6 +180,7 @@ func (n *Nue) repairAttempt(req RepairRequest, tree *graph.Tree, routable []grap
 	}
 	stats.CycleSearches += d.CycleSearches
 	stats.BlockedEdges += d.EdgesBlocked
+	stats.EdgeUses += d.EdgeUses
 	if !d.UsedAcyclic() {
 		return false, errors.New("core: internal error: repaired CDG became cyclic")
 	}

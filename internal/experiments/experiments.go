@@ -26,6 +26,7 @@ import (
 	"repro/internal/routing/updn"
 	"repro/internal/routing/verify"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -39,9 +40,17 @@ func NueEngine(seed int64) routing.Engine {
 // (0 = GOMAXPROCS). The routing produced is bit-identical for every
 // worker count, so experiments stay reproducible regardless of the host.
 func NueEngineWorkers(seed int64, workers int) routing.Engine {
+	return NueEngineTelemetry(seed, workers, nil)
+}
+
+// NueEngineTelemetry is NueEngineWorkers with an optional telemetry
+// bundle. Telemetry observes the engine without influencing it: the
+// routing stays bit-identical to the uninstrumented run.
+func NueEngineTelemetry(seed int64, workers int, tm *telemetry.EngineMetrics) routing.Engine {
 	opts := core.DefaultOptions()
 	opts.Seed = seed
 	opts.Workers = workers
+	opts.Telemetry = tm
 	return core.New(opts)
 }
 

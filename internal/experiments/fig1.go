@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -23,6 +24,10 @@ type Fig1Config struct {
 	// Workers bounds Nue's routing goroutines (0 = GOMAXPROCS); the
 	// output is identical for every value.
 	Workers int
+	// Telemetry, when non-nil, instruments the Nue engine runs and the
+	// flit simulator of every run. Purely observational: rows are
+	// identical with and without it.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultFig1Config mirrors the paper: 4x4x3 torus, 4 terminals/switch,
@@ -40,12 +45,15 @@ func Fig1(cfg Fig1Config) []ThroughputRow {
 	faulty := topology.FailSwitch(tp, tp.Torus.SwitchAt[1][2][0])
 	faulty.Name = "4x4x3-torus-1sw"
 
+	simCfg := cfg.Sim
+	simCfg.Telemetry = cfg.Telemetry.Sim()
 	var rows []ThroughputRow
 	for _, eng := range Baselines(faulty) {
-		rows = append(rows, runWithVCBudget(faulty, eng, cfg.MaxVCs, cfg.Phases, cfg.Sim))
+		rows = append(rows, runWithVCBudget(faulty, eng, cfg.MaxVCs, cfg.Phases, simCfg))
 	}
 	for k := 1; k <= cfg.MaxVCs; k++ {
-		row := routeAndSimulate(faulty, NueEngineWorkers(cfg.Seed, cfg.Workers), k, cfg.Phases, cfg.Sim)
+		eng := NueEngineTelemetry(cfg.Seed, cfg.Workers, cfg.Telemetry.Engine())
+		row := routeAndSimulate(faulty, eng, k, cfg.Phases, simCfg)
 		row.Routing = nueName(k)
 		rows = append(rows, row)
 	}

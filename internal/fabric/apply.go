@@ -36,6 +36,7 @@ func (m *Manager) Apply(ev Event) (*EventReport, error) {
 		report.NoOp = true
 		report.Latency = time.Since(start)
 		m.metrics.add(report)
+		recordEvent(m.opts.Telemetry, report, nil)
 		return report, nil
 	}
 
@@ -43,6 +44,7 @@ func (m *Manager) Apply(ev Event) (*EventReport, error) {
 	res, repaired, err := m.retable(old, newNet, changed, report)
 	if err != nil {
 		m.revert(ev, changed)
+		recordEvent(m.opts.Telemetry, report, err)
 		return nil, fmt.Errorf("fabric: %s: %w", ev, err)
 	}
 
@@ -58,6 +60,7 @@ func (m *Manager) Apply(ev Event) (*EventReport, error) {
 	report.Latency = time.Since(start)
 	m.snap.Store(&Snapshot{Epoch: report.Epoch, Net: newNet, Result: res})
 	m.metrics.add(report)
+	recordEvent(m.opts.Telemetry, report, nil)
 	return report, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/routing"
 	"repro/internal/routing/verify"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -52,6 +53,14 @@ type Options struct {
 	// per-layer repairs (0 = GOMAXPROCS). Repair output is identical for
 	// every worker count.
 	Workers int
+	// Telemetry, when non-nil, receives per-event repair counters, the
+	// repair-scope histogram and epoch publish latencies; the bundle's
+	// registry is also handed to the embedded Nue engine. nil (the
+	// default) records nothing.
+	Telemetry *telemetry.FabricMetrics
+	// EngineTelemetry optionally instruments the embedded Nue engine
+	// (full routings and repair widenings); independent of Telemetry.
+	EngineTelemetry *telemetry.EngineMetrics
 }
 
 // workers resolves Options.Workers to an effective pool size.
@@ -118,6 +127,7 @@ func NewManager(tp *topology.Topology, opts Options) (*Manager, error) {
 	nopts := core.DefaultOptions()
 	nopts.Seed = opts.Seed
 	nopts.Workers = opts.Workers
+	nopts.Telemetry = opts.EngineTelemetry
 	m := &Manager{
 		opts:       opts,
 		nue:        core.New(nopts),

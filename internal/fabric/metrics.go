@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cdg"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 )
 
 // EventReport describes what one Apply did: how much of the fabric's
@@ -74,6 +75,53 @@ type Metrics struct {
 	Delta routing.TableDelta
 	// RepairTime sums reconfiguration latencies.
 	RepairTime time.Duration
+}
+
+// record publishes one event's outcome into the telemetry bundle.
+// Counter semantics mirror Metrics.add exactly, so the lifetime
+// aggregates and the scrapeable counters can be cross-checked (the
+// telemetry-consistency tests pin fabric_events_applied_total +
+// fabric_events_noop_total == Metrics.Events and
+// fabric_repaired_dests_total == Metrics.RepairedDests). Nil-safe.
+func recordEvent(tm *telemetry.FabricMetrics, r *EventReport, err error) {
+	if tm == nil {
+		return
+	}
+	if err != nil {
+		tm.Errors.Inc()
+		return
+	}
+	if r.NoOp {
+		tm.NoOps.Inc()
+		return
+	}
+	tm.EventsApplied.Inc()
+	tm.RepairedDests.Add(int64(r.RepairedDests))
+	tm.UnreachableDests.Add(int64(r.UnreachableDests))
+	tm.RepairScope.Observe(int64(r.RepairedDests))
+	tm.LayerRebuilds.Add(int64(r.LayerRebuilds))
+	if r.FullRecompute {
+		tm.FullRecomputes.Inc()
+	}
+	tm.SeededChannels.Add(int64(r.Seeded.Channels))
+	tm.SeededDeps.Add(int64(r.Seeded.Deps))
+	tm.EntriesChanged.Add(int64(r.Delta.Changed))
+	tm.EntriesAdded.Add(int64(r.Delta.Added))
+	tm.EntriesRemoved.Add(int64(r.Delta.Removed))
+	tm.PublishNanos.Observe(r.Latency.Nanoseconds())
+	tm.Epoch.Set(int64(r.Epoch))
+	full := int64(0)
+	if r.FullRecompute {
+		full = 1
+	}
+	tm.Events.Emit("fabric_event", map[string]int64{
+		"epoch":          int64(r.Epoch),
+		"repaired_dests": int64(r.RepairedDests),
+		"total_dests":    int64(r.TotalDests),
+		"layer_rebuilds": int64(r.LayerRebuilds),
+		"full_recompute": full,
+		"latency_ns":     r.Latency.Nanoseconds(),
+	})
 }
 
 func (m *Metrics) add(r *EventReport) {

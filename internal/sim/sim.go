@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/routing"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the simulation. The zero value is not usable; start from
@@ -40,6 +41,10 @@ type Config struct {
 	// (globally synchronized exchange, like a sequence of blocking
 	// MPI_Sendrecv rounds).
 	PhaseBarrier bool
+	// Telemetry, when non-nil, receives run counters (flits injected and
+	// delivered, stall cycles, per-VC queue-depth high-water marks,
+	// deadlock-detector sweeps). Observation-only; nil records nothing.
+	Telemetry *telemetry.SimMetrics
 }
 
 // DefaultConfig returns a laptop-sized configuration: 512-byte messages
@@ -85,6 +90,24 @@ type Result struct {
 	// AvgLinkUtilization and MaxLinkUtilization are busy-cycle fractions
 	// over the switch-to-switch channels that carried traffic.
 	AvgLinkUtilization, MaxLinkUtilization float64
+	// InjectedFlits counts payload flits whose packet entered the
+	// network (first transmission on an injection channel); the
+	// invariant InjectedFlits == DeliveredFlits + InFlightFlits holds on
+	// every exit path.
+	InjectedFlits int64
+	// InFlightFlits is the number of injected-but-undelivered flits at
+	// the end of the run, measured by an independent sweep of the
+	// buffers and the event queue (0 after a fully delivered run).
+	InFlightFlits int64
+	// StallCycles accumulates cycles in-network packets spent waiting
+	// for an output channel or downstream credit; CreditStalls counts
+	// transmission attempts refused for lack of buffer credit.
+	StallCycles  int64
+	CreditStalls int64
+	// DeadlockSweeps counts deadlock-detector sweeps; the detector runs
+	// whenever the event queue drains and decides Deadlocked from the
+	// undelivered traffic it finds.
+	DeadlockSweeps int64
 }
 
 // ThroughputGBs converts flit throughput to an aggregate GB/s figure
@@ -106,6 +129,9 @@ type packet struct {
 	// hop indexes the next channel to take.
 	route []graph.ChannelID
 	hop   int32
+	// waitSince is the cycle the packet was appended to an output-wait
+	// queue (stall accounting; meaningful only while waiting).
+	waitSince int64
 	// msg is the message this packet belongs to (latency accounting and
 	// phase barriers).
 	msg *msgState
@@ -164,6 +190,15 @@ type sim struct {
 	totalMsgs      int
 	remainingFlits int64
 
+	// Telemetry accounting (always maintained; plain integer updates on
+	// paths that already touch the same cache lines).
+	injectedFlits int64
+	stallCycles   int64
+	creditStalls  int64
+	sweeps        int64
+	lastInFlight  int64
+	vlHWM         []int64 // per-VL max single-queue depth, in packets
+
 	// Latency and utilization accounting.
 	latencySum int64
 	latencyMax int64
@@ -200,6 +235,7 @@ func Run(net *graph.Network, res *routing.Result, messages []Message, cfg Config
 		s.bufCount[c] = make([]int32, vcs)
 		s.bufQueue[c] = make([][]*packet, vcs)
 	}
+	s.vlHWM = make([]int64, vcs)
 	// Segment messages into packets and enqueue them on their injection
 	// channels in order (terminals serialize their own sends naturally).
 	for _, m := range messages {
@@ -266,6 +302,15 @@ func Run(net *graph.Network, res *routing.Result, messages []Message, cfg Config
 		e := heap.Pop(&s.events).(event)
 		s.now = e.time
 		if cfg.MaxCycles > 0 && s.now > cfg.MaxCycles {
+			// The popped event's packet (if any) is in transit but no
+			// longer in the queue; hand it to the sweep explicitly.
+			var extra *packet
+			if e.kind == evArrival {
+				extra = e.pkt
+			}
+			s.sweeps++
+			inFlight, _ := s.sweep(extra)
+			s.lastInFlight = inFlight
 			return s.result(false, true), nil
 		}
 		switch e.kind {
@@ -275,7 +320,57 @@ func Run(net *graph.Network, res *routing.Result, messages []Message, cfg Config
 			s.kick(e.ch)
 		}
 	}
-	return s.result(s.delivered < s.remainingFlitsTotal(), false), nil
+	return s.result(s.detectDeadlock(), false), nil
+}
+
+// sweep measures undelivered traffic without consulting the delivery
+// counters: inFlight is the flit total of injected packets still inside
+// the network (input buffers, the event queue, plus the optional extra
+// in-transit packet), waiting the flit total of packets never injected
+// (injection wait queues and unreleased barrier phases). It is the
+// independent measurement behind the deadlock detector and the
+// injected == delivered + in-flight invariant.
+func (s *sim) sweep(extra *packet) (inFlight, waiting int64) {
+	for c := range s.bufQueue {
+		for vl := range s.bufQueue[c] {
+			for _, p := range s.bufQueue[c][vl] {
+				inFlight += int64(p.flits)
+			}
+		}
+	}
+	for _, e := range s.events {
+		if e.kind == evArrival {
+			inFlight += int64(e.pkt.flits)
+		}
+	}
+	if extra != nil {
+		inFlight += int64(extra.flits)
+	}
+	for _, q := range s.outWait {
+		for _, p := range q {
+			if p.cur == graph.NoChannel {
+				waiting += int64(p.flits)
+			}
+		}
+	}
+	for _, ph := range s.pending {
+		for _, p := range ph {
+			waiting += int64(p.flits)
+		}
+	}
+	return inFlight, waiting
+}
+
+// detectDeadlock is the deadlock detector: it runs when the event queue
+// drains (a blocked packet schedules nothing, so a wedged network goes
+// silent) and sweeps the network for undelivered traffic. Any stranded
+// or never-injectable flits mean no progress is possible — a real
+// routing deadlock (or a disconnected destination), not a timeout.
+func (s *sim) detectDeadlock() bool {
+	s.sweeps++
+	inFlight, waiting := s.sweep(nil)
+	s.lastInFlight = inFlight
+	return inFlight+waiting > 0
 }
 
 func (s *sim) remainingFlitsTotal() int64 { return s.remainingFlits }
@@ -288,7 +383,13 @@ func (s *sim) result(deadlocked, timedOut bool) Result {
 		TotalMessages:     s.totalMsgs,
 		Deadlocked:        deadlocked,
 		TimedOut:          timedOut,
+		InjectedFlits:     s.injectedFlits,
+		InFlightFlits:     s.lastInFlight,
+		StallCycles:       s.stallCycles,
+		CreditStalls:      s.creditStalls,
+		DeadlockSweeps:    s.sweeps,
 	}
+	s.reportTelemetry(&r)
 	if s.now > 0 {
 		r.FlitsPerCycle = float64(s.delivered) / float64(s.now)
 		used, sum, max := 0, 0.0, 0.0
@@ -314,6 +415,55 @@ func (s *sim) result(deadlocked, timedOut bool) Result {
 		r.MaxMsgLatency = float64(s.latencyMax)
 	}
 	return r
+}
+
+// reportTelemetry publishes the finished run into the telemetry bundle
+// (one batch of atomic adds; no per-cycle overhead).
+func (s *sim) reportTelemetry(r *Result) {
+	tm := s.cfg.Telemetry
+	if tm == nil {
+		return
+	}
+	tm.Runs.Inc()
+	tm.FlitsInjected.Add(r.InjectedFlits)
+	tm.FlitsDelivered.Add(r.DeliveredFlits)
+	tm.FlitsInFlight.Set(r.InFlightFlits)
+	tm.MessagesDelivered.Add(int64(r.DeliveredMessages))
+	tm.StallCycles.Add(r.StallCycles)
+	tm.CreditStalls.Add(r.CreditStalls)
+	tm.DeadlockSweeps.Add(r.DeadlockSweeps)
+	for vl, hwm := range s.vlHWM {
+		if hwm > 0 {
+			tm.QueueHWMFor(vl).SetMax(hwm)
+		}
+	}
+	if r.TimedOut {
+		tm.Timeouts.Inc()
+	}
+	if r.Deadlocked {
+		tm.Deadlocks.Inc()
+		tm.Events.Emit("sim_deadlock", map[string]int64{
+			"cycles":          r.Cycles,
+			"stranded_flits":  r.InFlightFlits,
+			"delivered_flits": r.DeliveredFlits,
+			"injected_flits":  r.InjectedFlits,
+		})
+	}
+	tm.Events.Emit("sim_run", map[string]int64{
+		"cycles":          r.Cycles,
+		"injected_flits":  r.InjectedFlits,
+		"delivered_flits": r.DeliveredFlits,
+		"stall_cycles":    r.StallCycles,
+		"deadlocked":      b2i(r.Deadlocked),
+		"timed_out":       b2i(r.TimedOut),
+	})
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // releasePhase moves a barrier phase's packets onto their injection
@@ -399,7 +549,14 @@ func (s *sim) kick(c graph.ChannelID) {
 	// (the next buffer head may request the same channel), so the slice
 	// must be re-read on every iteration and for the removal.
 	for i := 0; i < len(s.outWait[c]); i++ {
-		if s.startOn(s.outWait[c][i], c) {
+		p := s.outWait[c][i]
+		if s.startOn(p, c) {
+			// In-network packets accumulate stall cycles for the whole
+			// time they sat in the wait queue (injection queuing at the
+			// source is not a network stall).
+			if p.cur != graph.NoChannel {
+				s.stallCycles += s.now - p.waitSince
+			}
 			s.outWait[c] = append(s.outWait[c][:i], s.outWait[c][i+1:]...)
 			return
 		}
@@ -413,9 +570,15 @@ func (s *sim) startOn(p *packet, c graph.ChannelID) bool {
 	vl := s.vlOn(p, c)
 	if s.net.IsSwitch(to) {
 		if s.bufCount[c][vl] >= int32(s.cfg.BufferPackets) {
+			s.creditStalls++
 			return false
 		}
 		s.bufCount[c][vl]++ // reserve the slot for the whole transfer
+	}
+	if p.cur == graph.NoChannel {
+		// First transmission from the source: the packet enters the
+		// network now.
+		s.injectedFlits += int64(p.flits)
 	}
 	dur := int64(p.flits)
 	s.busyUntil[c] = s.now + dur
@@ -452,6 +615,7 @@ func (s *sim) request(p *packet) {
 	if s.busyUntil[c] <= s.now && s.startOn(p, c) {
 		return
 	}
+	p.waitSince = s.now
 	s.outWait[c] = append(s.outWait[c], p)
 }
 
@@ -483,6 +647,9 @@ func (s *sim) arrive(p *packet, c graph.ChannelID) {
 	}
 	p.cur, p.curVL = c, vl
 	s.bufQueue[c][vl] = append(s.bufQueue[c][vl], p)
+	if d := int64(len(s.bufQueue[c][vl])); d > s.vlHWM[vl] {
+		s.vlHWM[vl] = d
+	}
 	if len(s.bufQueue[c][vl]) == 1 {
 		s.request(p)
 	}

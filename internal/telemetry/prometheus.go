@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// bucketLabel renders the upper bound of bucket i ("1", "2", "4", ...;
+// the last bucket is "+Inf").
+func bucketLabel(i int) string {
+	if i >= HistogramBuckets-1 {
+		return "+Inf"
+	}
+	return strconv.FormatInt(int64(1)<<uint(i), 10)
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): counters as `<name> <value>`, gauges likewise,
+// histograms as `<name>_bucket{le="..."}` / `_sum` / `_count` series.
+// Metric families are emitted in lexical name order so scrapes are
+// diffable. No-op on a nil registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	for _, name := range sortedNames(counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[name].Load()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, gauges[name].Load()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(hists) {
+		h := hists[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i := 0; i < HistogramBuckets; i++ {
+			n := h.buckets[i].Load()
+			cum += n
+			// Sparse exposition: only emit boundaries where the cumulative
+			// count changes, plus the mandatory +Inf terminal bucket.
+			if n == 0 && i < HistogramBuckets-1 {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, bucketLabel(i), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import "strconv"
+
+// This file defines the pre-wired metric bundles of the three
+// instrumented subsystems. Each bundle is a plain struct of nil-safe
+// handles: a nil bundle pointer (telemetry off) costs one predictable
+// branch per recording site and allocates nothing.
+
+// EngineMetrics instruments the Nue routing engine (internal/core).
+type EngineMetrics struct {
+	// Routes counts Route invocations; Layers routed virtual layers.
+	Routes, Layers *Counter
+	// PartitionNanos, BetweennessNanos and DijkstraNanos accumulate the
+	// wall time of the three engine phases: destination partitioning
+	// (§4.5), escape-root betweenness selection (§4.3), and the per-layer
+	// modified-Dijkstra loop (Algorithm 1).
+	PartitionNanos, BetweennessNanos, DijkstraNanos *Counter
+	// LayerBetweennessNanos and LayerDijkstraNanos are the per-layer
+	// distributions of the same phases.
+	LayerBetweennessNanos, LayerDijkstraNanos *Histogram
+	// DijkstraRuns counts modified-Dijkstra runs (one per routed
+	// destination, including those that end in an escape fallback).
+	DijkstraRuns *Counter
+	// EscapeFallbacks counts destinations routed entirely over escape
+	// paths; IslandsResolved impasses solved by backtracking (§4.6.2);
+	// ShortcutTakes settled nodes improved through a former island
+	// (§4.6.3).
+	EscapeFallbacks, IslandsResolved, ShortcutTakes *Counter
+	// BlockedEncounters counts blocked complete-CDG edges skipped during
+	// relaxation; CycleSearches and EdgesBlocked aggregate the CDG cycle
+	// detector; EdgeUses counts TryUseEdge attempts.
+	BlockedEncounters, CycleSearches, EdgesBlocked, EdgeUses *Counter
+	// Events receives one "engine_layer" event per routed layer with its
+	// size and phase timings.
+	Events *Ring
+}
+
+// Engine returns the engine bundle registered under engine_* names (nil,
+// all-no-op, on a nil registry).
+func (r *Registry) Engine() *EngineMetrics {
+	if r == nil {
+		return nil
+	}
+	return &EngineMetrics{
+		Routes:                r.Counter("engine_routes_total"),
+		Layers:                r.Counter("engine_layers_routed_total"),
+		PartitionNanos:        r.Counter("engine_partition_nanos_total"),
+		BetweennessNanos:      r.Counter("engine_betweenness_nanos_total"),
+		DijkstraNanos:         r.Counter("engine_dijkstra_nanos_total"),
+		LayerBetweennessNanos: r.Histogram("engine_layer_betweenness_nanos"),
+		LayerDijkstraNanos:    r.Histogram("engine_layer_dijkstra_nanos"),
+		DijkstraRuns:          r.Counter("engine_dijkstra_runs_total"),
+		EscapeFallbacks:       r.Counter("engine_escape_fallbacks_total"),
+		IslandsResolved:       r.Counter("engine_islands_resolved_total"),
+		ShortcutTakes:         r.Counter("engine_shortcut_takes_total"),
+		BlockedEncounters:     r.Counter("engine_blocked_encounters_total"),
+		CycleSearches:         r.Counter("engine_cycle_searches_total"),
+		EdgesBlocked:          r.Counter("engine_edges_blocked_total"),
+		EdgeUses:              r.Counter("engine_edge_uses_total"),
+		Events:                r.Ring(),
+	}
+}
+
+// FabricMetrics instruments the online fabric manager (internal/fabric).
+type FabricMetrics struct {
+	// EventsApplied counts Apply calls that published a new epoch; NoOps
+	// those that changed nothing; Errors failed reconfigurations.
+	EventsApplied, NoOps, Errors *Counter
+	// RepairedDests and UnreachableDests aggregate per-event repair
+	// outcomes; RepairScope is the distribution of repaired destinations
+	// per event (the issue's "repair scope histogram").
+	RepairedDests, UnreachableDests *Counter
+	RepairScope                     *Histogram
+	// LayerRebuilds and FullRecomputes count the incremental→layer→full
+	// repair widenings.
+	LayerRebuilds, FullRecomputes *Counter
+	// SeededChannels and SeededDeps count old-configuration dependencies
+	// carried into repair CDGs.
+	SeededChannels, SeededDeps *Counter
+	// EntriesChanged/Added/Removed aggregate table deltas across epochs.
+	EntriesChanged, EntriesAdded, EntriesRemoved *Counter
+	// PublishNanos is the epoch publish latency distribution (repair +
+	// verification + snapshot installation).
+	PublishNanos *Histogram
+	// Epoch mirrors the currently published epoch.
+	Epoch *Gauge
+	// Events receives one "fabric_event" entry per applied event.
+	Events *Ring
+}
+
+// Fabric returns the fabric bundle registered under fabric_* names (nil,
+// all-no-op, on a nil registry).
+func (r *Registry) Fabric() *FabricMetrics {
+	if r == nil {
+		return nil
+	}
+	return &FabricMetrics{
+		EventsApplied:    r.Counter("fabric_events_applied_total"),
+		NoOps:            r.Counter("fabric_events_noop_total"),
+		Errors:           r.Counter("fabric_events_failed_total"),
+		RepairedDests:    r.Counter("fabric_repaired_dests_total"),
+		UnreachableDests: r.Counter("fabric_unreachable_dests_total"),
+		RepairScope:      r.Histogram("fabric_repair_scope_dests"),
+		LayerRebuilds:    r.Counter("fabric_layer_rebuilds_total"),
+		FullRecomputes:   r.Counter("fabric_full_recomputes_total"),
+		SeededChannels:   r.Counter("fabric_seeded_channels_total"),
+		SeededDeps:       r.Counter("fabric_seeded_deps_total"),
+		EntriesChanged:   r.Counter("fabric_table_entries_changed_total"),
+		EntriesAdded:     r.Counter("fabric_table_entries_added_total"),
+		EntriesRemoved:   r.Counter("fabric_table_entries_removed_total"),
+		PublishNanos:     r.Histogram("fabric_epoch_publish_nanos"),
+		Epoch:            r.Gauge("fabric_epoch"),
+		Events:           r.Ring(),
+	}
+}
+
+// MaxTrackedVCs bounds the per-VC gauge vector of the simulator bundle;
+// virtual lanes beyond it fold into the last gauge.
+const MaxTrackedVCs = 16
+
+// SimMetrics instruments the flit-level simulator (internal/sim).
+type SimMetrics struct {
+	// Runs counts simulation runs; Deadlocks runs that wedged; Timeouts
+	// runs that exceeded MaxCycles.
+	Runs, Deadlocks, Timeouts *Counter
+	// FlitsInjected counts payload flits whose packet entered the
+	// network (first transmission on the injection channel);
+	// FlitsDelivered flits that reached their destination terminal;
+	// FlitsInFlight is the stranded in-network flit count measured by
+	// the final sweep of the last run (injected == delivered + in-flight
+	// is the invariant the consistency tests pin).
+	FlitsInjected, FlitsDelivered *Counter
+	FlitsInFlight                 *Gauge
+	// MessagesDelivered counts fully delivered messages.
+	MessagesDelivered *Counter
+	// StallCycles accumulates cycles in-network packets spent waiting
+	// for an output channel or downstream credit; CreditStalls counts
+	// transmission attempts refused for lack of buffer credit.
+	StallCycles, CreditStalls *Counter
+	// DeadlockSweeps counts deadlock-detector sweeps (the detector runs
+	// whenever the event queue drains with traffic outstanding); sweeps
+	// that confirm a wedged network increment Deadlocks.
+	DeadlockSweeps *Counter
+	// QueueHWM[vl] is the high-water mark of any single (channel, VL)
+	// input-buffer queue depth (in packets) observed on virtual lane vl.
+	QueueHWM [MaxTrackedVCs]*Gauge
+	// Events receives "sim_run" and "sim_deadlock" entries.
+	Events *Ring
+}
+
+// Sim returns the simulator bundle registered under sim_* names (nil,
+// all-no-op, on a nil registry).
+func (r *Registry) Sim() *SimMetrics {
+	if r == nil {
+		return nil
+	}
+	m := &SimMetrics{
+		Runs:              r.Counter("sim_runs_total"),
+		Deadlocks:         r.Counter("sim_deadlock_detected"),
+		Timeouts:          r.Counter("sim_timeouts_total"),
+		FlitsInjected:     r.Counter("sim_flits_injected_total"),
+		FlitsDelivered:    r.Counter("sim_flits_delivered_total"),
+		FlitsInFlight:     r.Gauge("sim_flits_in_flight"),
+		MessagesDelivered: r.Counter("sim_messages_delivered_total"),
+		StallCycles:       r.Counter("sim_stall_cycles_total"),
+		CreditStalls:      r.Counter("sim_credit_stalls_total"),
+		DeadlockSweeps:    r.Counter("sim_deadlock_sweeps_total"),
+		Events:            r.Ring(),
+	}
+	for vl := 0; vl < MaxTrackedVCs; vl++ {
+		m.QueueHWM[vl] = r.Gauge("sim_vc_queue_depth_hwm_vc" + strconv.Itoa(vl))
+	}
+	return m
+}
+
+// QueueHWMFor returns the queue high-water gauge of virtual lane vl,
+// folding out-of-range lanes into the last tracked gauge. Nil-safe.
+func (m *SimMetrics) QueueHWMFor(vl int) *Gauge {
+	if m == nil {
+		return nil
+	}
+	if vl < 0 {
+		vl = 0
+	}
+	if vl >= MaxTrackedVCs {
+		vl = MaxTrackedVCs - 1
+	}
+	return m.QueueHWM[vl]
+}

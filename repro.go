@@ -33,6 +33,7 @@ import (
 	"repro/internal/routing"
 	"repro/internal/routing/verify"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
 
@@ -162,6 +163,25 @@ const (
 func NewFabricManager(tp *Topology, opts FabricOptions) (*FabricManager, error) {
 	return fabric.NewManager(tp, opts)
 }
+
+// Runtime telemetry (see DESIGN.md §10). A Telemetry registry is handed to
+// the engine, fabric manager and simulator via their options; all hooks
+// are nil-safe, so the zero-cost default is simply not creating one.
+
+type (
+	// Telemetry is a metrics registry: atomic counters, gauges,
+	// histograms and a bounded structured event ring, exposable as a
+	// Prometheus text page or a JSON snapshot.
+	Telemetry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time export of a registry.
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+// NewTelemetry returns an empty telemetry registry. Wire it up with
+// NueOptions.Telemetry = t.Engine(), FabricOptions.Telemetry =
+// t.Fabric() (plus EngineTelemetry = t.Engine()) and SimConfig.Telemetry
+// = t.Sim(); read it with t.Snapshot() or t.WritePrometheus(w).
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // Topology generators (Table 1 and the worked examples).
 
