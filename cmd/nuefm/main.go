@@ -28,6 +28,9 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/routing"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -44,6 +47,7 @@ func main() {
 		vcs       = flag.Int("vcs", 4, "virtual channel budget")
 		seed      = flag.Int64("seed", 1, "seed for routing and churn")
 		verify    = flag.Bool("verify", true, "verify connectivity + deadlock freedom per event")
+		useOracle = flag.Bool("oracle", false, "certify every published epoch with the independent oracle (internal/oracle)")
 		full      = flag.Bool("full", false, "disable incremental repair (full recompute per event)")
 		telemAddr = flag.String("telemetry-addr", "", "serve Prometheus /metrics, /telemetry.json and net/http/pprof on this address (e.g. :9090; empty = off)")
 		interval  = flag.Duration("event-interval", 0, "pause between churn events (gives scrapers a live view)")
@@ -68,14 +72,22 @@ func main() {
 		os.Exit(2)
 	}
 	start := time.Now()
-	m, err := fabric.NewManager(tp, fabric.Options{
+	opts := fabric.Options{
 		MaxVCs:          *vcs,
 		Seed:            *seed,
 		Verify:          *verify,
 		FullRecompute:   *full,
 		Telemetry:       reg.Fabric(),
 		EngineTelemetry: reg.Engine(),
-	})
+	}
+	if *useOracle {
+		budget := *vcs
+		opts.PostCheck = func(net *graph.Network, res *routing.Result) error {
+			_, err := oracle.Certify(net, res, oracle.Options{MaxVCs: budget})
+			return err
+		}
+	}
+	m, err := fabric.NewManager(tp, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -93,6 +93,12 @@ func (n *Nue) workers() int {
 // Name implements routing.Engine.
 func (n *Nue) Name() string { return "nue" }
 
+// Claims implements routing.Claimant: Nue is deadlock-free and
+// connectivity-complete on every topology for any budget k >= 1
+// (Lemmas 1-3) — the strongest claim in the registry, and the one the
+// independent oracle is pointed at hardest.
+func (n *Nue) Claims() routing.Claims { return routing.Claims{DeadlockFree: true, MinVCs: 1} }
+
 // Route computes deadlock-free destination-based forwarding tables toward
 // dests using at most maxVCs virtual layers. Nue always succeeds on
 // connected networks for any maxVCs >= 1 (Lemma 3).

@@ -294,13 +294,18 @@ func (m *Manager) fullRecompute(newNet *graph.Network, report *EventReport) (*ro
 }
 
 func (m *Manager) maybeVerify(net *graph.Network, res *routing.Result, report *EventReport) error {
-	if !m.opts.Verify {
-		return nil
+	if m.opts.Verify {
+		if _, err := verify.Check(net, res, nil); err != nil {
+			return err
+		}
+		report.Verified = true
 	}
-	if _, err := verify.Check(net, res, nil); err != nil {
-		return err
+	if m.opts.PostCheck != nil {
+		if err := m.opts.PostCheck(net, res); err != nil {
+			return fmt.Errorf("post-check: %w", err)
+		}
+		report.PostChecked = true
 	}
-	report.Verified = true
 	return nil
 }
 

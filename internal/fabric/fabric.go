@@ -45,6 +45,15 @@ type Options struct {
 	// freedom) on every published transition; failures trigger a full
 	// recompute before the snapshot is published.
 	Verify bool
+	// PostCheck, when non-nil, runs after every routing transition —
+	// the initial routing, every incremental repair and every full
+	// recompute — on the to-be-published (network, result) pair, after
+	// Verify (if enabled). A non-nil error vetoes the snapshot exactly
+	// like a verifier failure: incremental transitions fall back to a
+	// full recompute, and a failing full recompute aborts the event.
+	// Wire the independent oracle here (internal/oracle.Certify) to
+	// certify every epoch without fabric importing the checker.
+	PostCheck func(*graph.Network, *routing.Result) error
 	// FullRecompute disables incremental repair: every event re-routes
 	// the entire fabric (the baseline the churn experiment compares
 	// against).
@@ -158,6 +167,11 @@ func NewManager(tp *topology.Topology, opts Options) (*Manager, error) {
 	if opts.Verify {
 		if _, err := verify.Check(net, res, nil); err != nil {
 			return nil, fmt.Errorf("fabric: initial routing invalid: %w", err)
+		}
+	}
+	if opts.PostCheck != nil {
+		if err := opts.PostCheck(net, res); err != nil {
+			return nil, fmt.Errorf("fabric: initial routing rejected by post-check: %w", err)
 		}
 	}
 	m.rebuildIndex(res.Table)

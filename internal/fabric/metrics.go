@@ -46,6 +46,9 @@ type EventReport struct {
 	// Verified is true when the transition was checked by the routing
 	// verifier (connectivity + deadlock freedom).
 	Verified bool
+	// PostChecked is true when the transition passed the configured
+	// PostCheck hook (typically the independent oracle).
+	PostChecked bool
 }
 
 func (r *EventReport) String() string {

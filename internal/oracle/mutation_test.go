@@ -1,0 +1,139 @@
+package oracle_test
+
+// Mutation tests for the oracle itself: corrupt a known-good Nue table
+// in controlled ways and require the oracle to report exactly the
+// injected defect. A checker that waves through corrupted tables is
+// vacuous — these tests are the guard the cross-check layer relies on.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/routing"
+	"repro/internal/routing/verify"
+	"repro/internal/topology"
+)
+
+// mutateEntry swaps one next hop, runs fn, and restores the entry.
+func mutateEntry(t *routing.Table, sw, dest graph.NodeID, c graph.ChannelID, fn func()) {
+	old := t.Next(sw, dest)
+	t.Set(sw, dest, c)
+	fn()
+	t.Set(sw, dest, old)
+}
+
+// TestMutationSwapClosesCycle swaps single next hops of a certified Nue
+// routing on a k=1 torus (the escape-dominated regime, where the
+// dependency slack is smallest) until one swap closes a dependency
+// cycle. The oracle must (a) refute at least one such mutation, (b)
+// emit a witness that is a genuine closed dependency chain, and (c)
+// agree with internal/routing/verify on every refuted mutant.
+func TestMutationSwapClosesCycle(t *testing.T) {
+	tp := topology.Torus3D(4, 4, 1, 1, 1)
+	net := tp.Net
+	res, err := nueEngine(1).Route(net, net.Terminals(), 1)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	if _, err := oracle.Certify(net, res, oracle.Options{MaxVCs: 1}); err != nil {
+		t.Fatalf("baseline must certify before mutating: %v", err)
+	}
+
+	cycles, loops, clean := 0, 0, 0
+	for _, sw := range net.Switches() {
+		for _, d := range res.Table.Dests() {
+			cur := res.Table.Next(sw, d)
+			if cur == graph.NoChannel {
+				continue
+			}
+			for _, alt := range net.Out(sw) {
+				if alt == cur || net.IsTerminal(net.Channel(alt).To) {
+					continue
+				}
+				mutateEntry(res.Table, sw, d, alt, func() {
+					_, oerr := oracle.Certify(net, res, oracle.Options{MaxVCs: 1})
+					_, verr := verify.Check(net, res, nil)
+					if (oerr == nil) != (verr == nil) {
+						t.Fatalf("oracle and verify disagree on mutant (sw=%d dest=%d alt=%d): oracle=%v verify=%v",
+							sw, d, alt, oerr, verr)
+					}
+					var cyc *oracle.CycleError
+					switch {
+					case errors.As(oerr, &cyc):
+						cycles++
+						if werr := oracle.ValidateWitness(net, cyc.Witness); werr != nil {
+							t.Fatalf("invalid witness for mutant (sw=%d dest=%d alt=%d): %v", sw, d, alt, werr)
+						}
+					case oerr != nil:
+						loops++ // forwarding loop or stall: also caught, differently typed
+					default:
+						clean++
+					}
+				})
+			}
+		}
+	}
+	t.Logf("mutants: %d cycle-refuted, %d otherwise-refuted, %d benign", cycles, loops, clean)
+	if cycles == 0 {
+		t.Fatal("no single next-hop swap produced a dependency-cycle refutation: oracle cycle search is under-sensitive")
+	}
+}
+
+// TestMutationDropsEntry removes a single table entry on a path the
+// walker must take and requires the oracle to name exactly that
+// unreachable pair: the walk stalls at the mutated switch, toward the
+// mutated destination.
+func TestMutationDropsEntry(t *testing.T) {
+	tp := topology.Ring(6, 1)
+	net := tp.Net
+	res, err := nueEngine(2).Route(net, net.Terminals(), 1)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	if _, err := oracle.Certify(net, res, oracle.Options{MaxVCs: 1}); err != nil {
+		t.Fatalf("baseline must certify before mutating: %v", err)
+	}
+
+	// Pick a (switch, destination) whose entry is set and whose switch
+	// is not the destination's attachment point (so a path is owed
+	// through it from at least the switch's own terminal).
+	var sw, dest graph.NodeID = graph.NoNode, graph.NoNode
+	for _, d := range res.Table.Dests() {
+		att := net.TerminalSwitch(d)
+		for _, s := range net.Switches() {
+			if s != att && res.Table.Next(s, d) != graph.NoChannel {
+				sw, dest = s, d
+				break
+			}
+		}
+		if sw != graph.NoNode {
+			break
+		}
+	}
+	if sw == graph.NoNode {
+		t.Fatal("no droppable entry found")
+	}
+
+	mutateEntry(res.Table, sw, dest, graph.NoChannel, func() {
+		_, oerr := oracle.Certify(net, res, oracle.Options{MaxVCs: 1})
+		var unreach *oracle.UnreachableError
+		if !errors.As(oerr, &unreach) {
+			t.Fatalf("want UnreachableError, got %v", oerr)
+		}
+		if unreach.At != sw || unreach.Dst != dest {
+			t.Fatalf("oracle blamed (at=%d, dst=%d), mutation was (at=%d, dst=%d)",
+				unreach.At, unreach.Dst, sw, dest)
+		}
+		// Differential: the in-tree verifier must agree the mutant is bad.
+		if _, verr := verify.Check(net, res, nil); verr == nil {
+			t.Fatal("verify passed a table with a dropped entry")
+		}
+	})
+
+	// Restoration sanity: the unmutated table still certifies.
+	if _, err := oracle.Certify(net, res, oracle.Options{MaxVCs: 1}); err != nil {
+		t.Fatalf("restored table no longer certifies: %v", err)
+	}
+}

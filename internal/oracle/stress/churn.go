@@ -1,0 +1,79 @@
+package stress
+
+import (
+	"math/rand"
+
+	"repro/internal/fabric"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// ChurnReport summarizes a fabric-churn sub-trial: the manager was
+// driven through Events random link/switch events with the oracle
+// installed as the post-check hook, so every published epoch —
+// including the initial routing and every incremental repair — carries
+// an independent certificate.
+type ChurnReport struct {
+	// Events counts the events applied (including no-ops); Certified
+	// counts the epochs the oracle post-check accepted.
+	Events, Certified int
+	// NoOps counts events that changed nothing.
+	NoOps int
+	// FinalEpoch is the manager's epoch after the schedule.
+	FinalEpoch uint64
+}
+
+// runChurn drives the online fabric manager through a random event
+// schedule. Any Apply error is a hard failure: the manager guarantees
+// that every event either publishes a certified epoch or is rejected
+// with the fabric left on the previous (still certified) one, and
+// with the oracle hooked in, "certified" means certified from first
+// principles.
+func (tr *Trial) runChurn(tp *topology.Topology, vcs int, rng *rand.Rand) *ChurnReport {
+	rep := &ChurnReport{}
+	post := func(net *graph.Network, res *routing.Result) error {
+		_, err := oracle.Certify(net, res, oracle.Options{MaxVCs: vcs})
+		if err == nil {
+			rep.Certified++
+		}
+		return err
+	}
+	m, err := fabric.NewManager(tp, fabric.Options{
+		MaxVCs:    vcs,
+		Seed:      tr.Config.Seed,
+		Workers:   tr.Config.Workers,
+		PostCheck: post,
+	})
+	if err != nil {
+		tr.fail("fabric manager rejected the initial routing of %s: %v", tr.Topology, err)
+		return rep
+	}
+	for i := 0; i < tr.Config.Churn; i++ {
+		var ev fabric.Event
+		var ok bool
+		// Every fifth event churns a whole switch; the rest churn links.
+		if i%5 == 4 {
+			ev, ok = m.RandomSwitchEvent(rng, 0.3)
+		} else {
+			ev, ok = m.RandomEvent(rng, 0.3)
+		}
+		if !ok {
+			break
+		}
+		report, err := m.Apply(ev)
+		if err != nil {
+			tr.fail("churn step %d (%s) on %s was rejected: %v", i, ev, tr.Topology, err)
+			return rep
+		}
+		rep.Events++
+		if report.NoOp {
+			rep.NoOps++
+		} else if !report.PostChecked {
+			tr.fail("churn step %d (%s) on %s published without oracle certification", i, ev, tr.Topology)
+		}
+	}
+	rep.FinalEpoch = m.Epoch()
+	return rep
+}

@@ -1,0 +1,246 @@
+package stress
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/routing"
+	"repro/internal/routing/dfsssp"
+	"repro/internal/routing/dor"
+	"repro/internal/routing/ftree"
+	"repro/internal/routing/lash"
+	"repro/internal/routing/minhop"
+	"repro/internal/routing/updn"
+	"repro/internal/routing/verify"
+	"repro/internal/topology"
+)
+
+// NewNue is installed by cmd/nueverify (and the stress tests) to build
+// the Nue engine for a seed and worker budget. It lives behind a
+// function variable so this package's import graph stays free of
+// internal/core — the oracle's trusted-base argument extends to the
+// whole internal/oracle/... subtree.
+var NewNue func(seed int64, workers int) routing.Engine
+
+// Config selects one trial. The zero value of every field means
+// "derive from the seed", so Config{Seed: n} is a full specification
+// and the replay command only needs to pin what the caller pinned.
+type Config struct {
+	// Seed drives every random draw of the trial.
+	Seed int64
+	// Class fixes the topology family ("" rotates by seed, see ClassFor).
+	Class Class
+	// VCs fixes the virtual-channel budget (0 draws it, see DefaultVCs).
+	VCs int
+	// Engine restricts the differential run to one engine name ("" runs
+	// every engine applicable to the generated topology).
+	Engine string
+	// Churn, when positive, additionally drives the online fabric
+	// manager through that many random events with the oracle installed
+	// as the post-check hook.
+	Churn int
+	// Workers bounds Nue's and the fabric manager's parallelism
+	// (0 = GOMAXPROCS); the routing is identical for every value.
+	Workers int
+}
+
+// Replay renders the cmd/nueverify invocation that reproduces this
+// exact trial.
+func (cfg Config) Replay() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "go run ./cmd/nueverify -trials 1 -seed %d", cfg.Seed)
+	if cfg.Class != "" {
+		fmt.Fprintf(&b, " -topo %s", cfg.Class)
+	}
+	if cfg.VCs != 0 {
+		fmt.Fprintf(&b, " -vcs %d", cfg.VCs)
+	}
+	if cfg.Engine != "" {
+		fmt.Fprintf(&b, " -engine %s", cfg.Engine)
+	}
+	if cfg.Churn != 0 {
+		fmt.Fprintf(&b, " -churn %d", cfg.Churn)
+	}
+	return b.String()
+}
+
+// Outcome records one engine's run over the trial topology.
+type Outcome struct {
+	Engine string
+	Claims routing.Claims
+	// RouteErr is the engine's own refusal to route ("" when it routed).
+	RouteErr string
+	// Refuted is the oracle's violation ("" when the routing certified).
+	Refuted string
+	// Witness is the formatted dependency cycle for cycle refutations.
+	Witness string
+	// Cert carries the oracle's measurements (pairs walked, deps, ...).
+	Cert *oracle.Certificate
+}
+
+// Certified reports whether the engine routed and the oracle certified.
+func (o Outcome) Certified() bool { return o.RouteErr == "" && o.Refuted == "" }
+
+// Trial is the result of Run: the generated instance, every engine's
+// outcome, and the hard failures (empty = trial passed).
+type Trial struct {
+	Config   Config
+	Class    Class
+	Topology string
+	Nodes    int
+	VCs      int
+	Outcomes []Outcome
+	Churn    *ChurnReport
+	// Failures are the hard violations: a claiming engine refuted, an
+	// oracle/verify verdict disagreement, an invalid witness, a Nue
+	// routing error, or a churn step rejected. Each line ends with the
+	// replay command.
+	Failures []string
+}
+
+// Failed reports whether the trial produced any hard failure.
+func (tr *Trial) Failed() bool { return len(tr.Failures) > 0 }
+
+func (tr *Trial) fail(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	tr.Failures = append(tr.Failures, fmt.Sprintf("%s\n  replay: %s", msg, tr.Config.Replay()))
+}
+
+// Engines returns the differential-engine roster for a topology:
+// always Nue (via NewNue), Up*/Down*, LASH, DFSSSP and MinHop; plus
+// ftree on fat trees, and both DOR variants (plain = the negative
+// baseline, torus2qos = the dateline fix) on tori.
+func Engines(tp *topology.Topology, seed int64, workers int) []Spec {
+	if NewNue == nil {
+		panic("stress: NewNue is not installed; wire it to the Nue constructor (see cmd/nueverify)")
+	}
+	specs := []Spec{
+		{Name: "nue", Engine: NewNue(seed, workers)},
+		{Name: "updn", Engine: updn.Engine{}},
+		{Name: "lash", Engine: lash.Engine{}},
+		{Name: "dfsssp", Engine: dfsssp.Engine{}},
+		{Name: "minhop", Engine: minhop.MinHop{}},
+	}
+	if tp.Tree != nil {
+		specs = append(specs, Spec{Name: "ftree", Engine: ftree.Engine{Level: tp.Tree.Level}})
+	}
+	if tp.Torus != nil {
+		specs = append(specs,
+			Spec{Name: "dor", Engine: dor.Engine{Meta: tp.Torus}},
+			Spec{Name: "torus2qos", Engine: dor.Engine{Meta: tp.Torus, Datelines: true}})
+	}
+	return specs
+}
+
+// Spec names one engine of the differential roster.
+type Spec struct {
+	Name   string
+	Engine routing.Engine
+}
+
+// Run executes one trial: generate the topology, route it with every
+// selected engine, certify each routing with the oracle, cross-check
+// the oracle's verdict against internal/routing/verify, and enforce
+// the claims contract. With Config.Churn > 0 it then churns the fabric
+// manager under the oracle post-check.
+func Run(cfg Config) *Trial {
+	class := cfg.Class
+	if class == "" {
+		class = ClassFor(cfg.Seed)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tp := Generate(class, rng)
+	vcs := cfg.VCs
+	if vcs == 0 {
+		vcs = DefaultVCs(class, rng)
+	}
+	tr := &Trial{
+		Config:   cfg,
+		Class:    class,
+		Topology: tp.Name,
+		Nodes:    tp.Net.NumNodes(),
+		VCs:      vcs,
+	}
+	matched := false
+	for _, spec := range Engines(tp, cfg.Seed, cfg.Workers) {
+		if cfg.Engine != "" && spec.Name != cfg.Engine {
+			continue
+		}
+		matched = true
+		tr.Outcomes = append(tr.Outcomes, tr.runEngine(tp.Net, spec, vcs))
+	}
+	if cfg.Engine != "" && !matched {
+		tr.fail("engine %q is not applicable to topology %s (class %s)", cfg.Engine, tp.Name, class)
+	}
+	if cfg.Churn > 0 {
+		tr.Churn = tr.runChurn(tp, vcs, rng)
+	}
+	return tr
+}
+
+// runEngine routes the network with one engine and adjudicates the
+// result: oracle certification, verifier cross-check, claims contract.
+func (tr *Trial) runEngine(net *graph.Network, spec Spec, vcs int) Outcome {
+	out := Outcome{Engine: spec.Name, Claims: routing.ClaimsOf(spec.Engine)}
+	dests := net.Terminals()
+	if len(dests) == 0 {
+		dests = net.Switches()
+	}
+	res, err := spec.Engine.Route(net, dests, vcs)
+	if err != nil {
+		out.RouteErr = err.Error()
+		// Nue's existence guarantee (paper Lemma 3) holds for every
+		// k >= 1 on any connected topology: a routing error is a bug,
+		// not a budget refusal.
+		if spec.Name == "nue" {
+			tr.fail("nue refused to route %s with %d VCs: %v", tr.Topology, vcs, err)
+		}
+		return out
+	}
+
+	// The differential verdict: certify with internal checks only
+	// (budget adjudication below is claims-aware) and require the
+	// in-tree verifier to agree with the independent oracle.
+	cert, oerr := oracle.Certify(net, res, oracle.Options{})
+	out.Cert = cert
+	_, verr := verify.Check(net, res, nil)
+	if (oerr == nil) != (verr == nil) {
+		tr.fail("oracle and verify disagree on %s (%s, %d VCs): oracle=%v verify=%v",
+			spec.Name, tr.Topology, vcs, oerr, verr)
+	}
+
+	if oerr != nil {
+		out.Refuted = oerr.Error()
+		var cyc *oracle.CycleError
+		if errors.As(oerr, &cyc) {
+			out.Witness = formatWitness(cyc.Witness)
+			if werr := oracle.ValidateWitness(net, cyc.Witness); werr != nil {
+				tr.fail("oracle produced an invalid witness against %s: %v", spec.Name, werr)
+			}
+		}
+		if out.Claims.HoldsAt(vcs) {
+			tr.fail("%s claims deadlock freedom with %d VCs on %s but the oracle refutes it: %v",
+				spec.Name, vcs, tr.Topology, oerr)
+		}
+		return out
+	}
+	// Certified — but an engine whose claim covers this budget must
+	// also have stayed inside it.
+	if out.Claims.HoldsAt(vcs) && cert.Layers > vcs {
+		tr.fail("%s certified but used %d virtual layers against a budget of %d on %s",
+			spec.Name, cert.Layers, vcs, tr.Topology)
+	}
+	return out
+}
+
+func formatWitness(w []oracle.Dep) string {
+	parts := make([]string, len(w))
+	for i, d := range w {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, " -> ")
+}

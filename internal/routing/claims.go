@@ -1,0 +1,50 @@
+package routing
+
+// Claims describes the correctness properties a routing engine asserts
+// about every *successful* Route result. The independent oracle
+// (internal/oracle) and the differential stress harness
+// (internal/oracle/stress, cmd/nueverify) use these declarations to
+// decide whether a refutation is a hard failure (the engine promised
+// deadlock freedom and the oracle found a dependency cycle) or an
+// expected outcome for a negative baseline (plain DOR on a torus,
+// MinHop on anything with rings).
+//
+// A claim covers only results the engine returns without error: an
+// engine that detects an unroutable configuration and fails (DFSSSP out
+// of virtual channels, Torus-2QoS on a doubly-broken ring) has not
+// violated its claim.
+type Claims struct {
+	// DeadlockFree asserts the channel dependency relation induced by
+	// the returned routing is acyclic within the result's virtual-layer
+	// assignment.
+	DeadlockFree bool
+	// MinVCs is the smallest virtual-channel budget under which the
+	// deadlock-freedom claim holds (1 = any budget; Torus-2QoS needs 2).
+	// Zero is treated as 1.
+	MinVCs int
+}
+
+// HoldsAt reports whether the deadlock-freedom claim applies under the
+// given virtual-channel budget.
+func (c Claims) HoldsAt(maxVCs int) bool {
+	min := c.MinVCs
+	if min < 1 {
+		min = 1
+	}
+	return c.DeadlockFree && maxVCs >= min
+}
+
+// Claimant is implemented by engines that declare correctness claims.
+type Claimant interface {
+	Claims() Claims
+}
+
+// ClaimsOf returns the claims an engine declares. Engines without a
+// declaration claim nothing — the conservative default, so a new engine
+// is never presumed deadlock-free.
+func ClaimsOf(e Engine) Claims {
+	if c, ok := e.(Claimant); ok {
+		return c.Claims()
+	}
+	return Claims{}
+}

@@ -23,6 +23,11 @@ type Engine struct{}
 // Name implements routing.Engine.
 func (Engine) Name() string { return "dfsssp" }
 
+// Claims implements routing.Claimant: DFSSSP breaks every cycle by
+// moving destinations to higher layers and errors out when the budget
+// is exhausted, so successful results are deadlock-free at any budget.
+func (Engine) Claims() routing.Claims { return routing.Claims{DeadlockFree: true, MinVCs: 1} }
+
 // pair is one (source, destination) path unit moved between layers.
 type pair struct {
 	src, dst graph.NodeID

@@ -44,6 +44,16 @@ func (e Engine) Name() string {
 	return "dor"
 }
 
+// Claims implements routing.Claimant. Torus-2QoS (Datelines) is
+// deadlock-free given its 2-VL dateline budget; plain DOR on tori is
+// the classic deadlock-prone negative baseline and claims nothing.
+func (e Engine) Claims() routing.Claims {
+	if e.Datelines {
+		return routing.Claims{DeadlockFree: true, MinVCs: 2}
+	}
+	return routing.Claims{}
+}
+
 // Route implements routing.Engine.
 func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {
 	if e.Meta == nil {
@@ -119,10 +129,13 @@ func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*ro
 	res := &routing.Result{
 		Algorithm: e.Name(),
 		Table:     table,
-		PairLayer: pairLayer,
 		Stats:     map[string]float64{"detours": float64(detours)},
 	}
 	if e.Datelines {
+		// The per-pair service levels are meaningful only under the
+		// dateline SL2VL mapping; plain DOR forwards everything on one
+		// lane and must not advertise layers it does not occupy.
+		res.PairLayer = pairLayer
 		res.VCs = 2
 		dimOf := channelDims(net, e.Meta)
 		res.SLToVL = func(sl uint8, c graph.ChannelID) uint8 {

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/fibheap"
 	"repro/internal/graph"
@@ -28,6 +29,10 @@ type Engine struct {
 // Name implements routing.Engine.
 func (Engine) Name() string { return "ftree" }
 
+// Claims implements routing.Claimant: fat-tree up/down routing never
+// turns downward-then-upward, so one virtual layer suffices.
+func (Engine) Claims() routing.Claims { return routing.Claims{DeadlockFree: true, MinVCs: 1} }
+
 // Route implements routing.Engine. The result uses a single layer.
 func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {
 	if maxVCs < 1 {
@@ -41,6 +46,7 @@ func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*ro
 	n := net.NumNodes()
 	downDist := make([]float64, n)
 	downNext := make([]graph.ChannelID, n)
+	canDeliver := make([]bool, n)
 	h := fibheap.New(n)
 
 	level := func(x graph.NodeID) int {
@@ -48,6 +54,21 @@ func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*ro
 			return l
 		}
 		return -1 // terminal
+	}
+
+	// Switches in descending tier order (for the deliverability pass) and
+	// the set of switches with attached terminals (which must always
+	// route, since traffic enters there).
+	byTierDesc := append([]graph.NodeID(nil), net.Switches()...)
+	sort.Slice(byTierDesc, func(i, j int) bool { return level(byTierDesc[i]) > level(byTierDesc[j]) })
+	hasTerm := make([]bool, n)
+	for _, s := range net.Switches() {
+		for _, c := range net.Out(s) {
+			if net.IsTerminal(net.Channel(c).To) {
+				hasTerm[s] = true
+				break
+			}
+		}
 	}
 
 	for _, d := range dests {
@@ -86,6 +107,27 @@ func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*ro
 				}
 			}
 		}
+		// Deliverability pass: a switch can deliver to d iff it is an
+		// ancestor (has a down path) or some strictly-higher up neighbor
+		// can. On a pristine k-ary n-tree every root is a common ancestor
+		// and everything delivers; after link faults the blind "any up
+		// channel works" assumption breaks — climbing to a root whose
+		// down path to d's subtree is severed strands the packet. Up
+		// channels go strictly to higher tiers, so one sweep in
+		// descending tier order reaches the fixpoint.
+		for _, s := range byTierDesc {
+			can := downNext[s] != graph.NoChannel || s == att
+			if !can {
+				for _, c := range net.Out(s) {
+					v := net.Channel(c).To
+					if net.IsSwitch(v) && level(v) > level(s) && canDeliver[v] {
+						can = true
+						break
+					}
+				}
+			}
+			canDeliver[s] = can
+		}
 		// Table: ancestors go down; everyone else goes up toward the
 		// nearest ancestor, spreading by destination ID.
 		for _, s := range net.Switches() {
@@ -100,13 +142,15 @@ func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*ro
 				table.Set(s, d, downNext[s])
 				continue
 			}
-			up, err := upChoice(net, s, d, level, downDist)
+			up, err := upChoice(net, s, d, level, downDist, canDeliver)
 			if err != nil {
 				// Like OpenSM's ftree, switch-to-switch rows that have no
-				// legal up/down path are omitted (terminal traffic never
-				// needs them; it enters at a leaf below a common
-				// ancestor). The attachment switch itself must route.
-				if s == att {
+				// legal up/down path are omitted — but a switch where
+				// traffic enters the fabric (attached terminals) must
+				// route; failing one means the faulted topology is no
+				// longer routable as a fat tree, and the engine refuses
+				// rather than publishing a table that strands packets.
+				if s == att || hasTerm[s] {
 					return nil, fmt.Errorf("ftree: switch %d toward %d: %w", s, d, err)
 				}
 				unroutedRows++
@@ -125,14 +169,15 @@ func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*ro
 
 // upChoice picks the upward channel at non-ancestor switch s toward
 // destination d: among up neighbors that are ancestors (finite downDist),
-// spread by destination ID; if none is an ancestor, spread over all up
-// channels (legal for full k-ary n-trees where every root is a common
-// ancestor), and fail if there is no up channel at all.
-func upChoice(net *graph.Network, s, d graph.NodeID, level func(graph.NodeID) int, downDist []float64) (graph.ChannelID, error) {
+// spread by destination ID; otherwise spread over the up channels that
+// can still deliver (on full k-ary n-trees that is all of them, since
+// every root is a common ancestor), and fail when no deliverable up
+// channel remains.
+func upChoice(net *graph.Network, s, d graph.NodeID, level func(graph.NodeID) int, downDist []float64, canDeliver []bool) (graph.ChannelID, error) {
 	var ancestors, ups []graph.ChannelID
 	for _, c := range net.Out(s) {
 		v := net.Channel(c).To
-		if !net.IsSwitch(v) || level(v) <= level(s) {
+		if !net.IsSwitch(v) || level(v) <= level(s) || !canDeliver[v] {
 			continue
 		}
 		ups = append(ups, c)
@@ -146,5 +191,5 @@ func upChoice(net *graph.Network, s, d graph.NodeID, level func(graph.NodeID) in
 	if len(ups) > 0 {
 		return ups[int(d)%len(ups)], nil
 	}
-	return graph.NoChannel, errors.New("no upward channel; topology is not a routable fat tree")
+	return graph.NoChannel, errors.New("no deliverable upward channel; topology is not a routable fat tree")
 }

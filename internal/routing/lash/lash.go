@@ -20,6 +20,11 @@ type Engine struct{}
 // Name implements routing.Engine.
 func (Engine) Name() string { return "lash" }
 
+// Claims implements routing.Claimant: LASH admits a path into a layer
+// only when the layer CDG stays acyclic, for any budget (it fails,
+// rather than overflows, when the budget is too small).
+func (Engine) Claims() routing.Claims { return routing.Claims{DeadlockFree: true, MinVCs: 1} }
+
 // Route implements routing.Engine.
 func (Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {
 	res, failed, _, err := routeLASH(net, dests, maxVCs)

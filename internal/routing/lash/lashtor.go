@@ -24,6 +24,10 @@ type TOREngine struct{}
 // Name implements routing.Engine.
 func (TOREngine) Name() string { return "lashtor" }
 
+// Claims implements routing.Claimant: LASH-TOR falls back to the escape
+// layer instead of overflowing, staying acyclic per layer.
+func (TOREngine) Claims() routing.Claims { return routing.Claims{DeadlockFree: true, MinVCs: 1} }
+
 // Route implements routing.Engine.
 func (e TOREngine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {
 	if maxVCs < 1 {

@@ -21,6 +21,11 @@ type MinHop struct{}
 // Name implements routing.Engine.
 func (MinHop) Name() string { return "minhop" }
 
+// Claims implements routing.Claimant: MinHop balances shortest paths
+// with no regard for channel dependencies — it claims nothing and is
+// the harness's canonical deadlock-prone baseline.
+func (MinHop) Claims() routing.Claims { return routing.Claims{} }
+
 // Route computes minimum-hop tables with per-channel load balancing.
 // The result uses a single layer and carries no deadlock-freedom
 // guarantee; maxVCs is ignored beyond the >= 1 sanity check.
@@ -66,6 +71,10 @@ type SSSP struct{}
 
 // Name implements routing.Engine.
 func (SSSP) Name() string { return "sssp" }
+
+// Claims implements routing.Claimant: plain SSSP (no deadlock-free
+// post-processing) claims nothing.
+func (SSSP) Claims() routing.Claims { return routing.Claims{} }
 
 // Route computes balanced shortest-path tables; maxVCs is ignored beyond
 // the sanity check (the result is a single layer).

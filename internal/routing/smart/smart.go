@@ -35,6 +35,11 @@ type Engine struct {
 // Name implements routing.Engine.
 func (Engine) Name() string { return "smart" }
 
+// Claims implements routing.Claimant: smart routing iterates until the
+// induced CDG is acyclic (or fails at an impasse), so results it does
+// return are deadlock-free on a single layer.
+func (Engine) Claims() routing.Claims { return routing.Claims{DeadlockFree: true, MinVCs: 1} }
+
 // Route implements routing.Engine. The result uses a single layer; maxVCs
 // only gates the >= 1 sanity check (smart routing predates VCs).
 func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {

@@ -22,6 +22,10 @@ type MultiEngine struct{}
 // Name implements routing.Engine.
 func (MultiEngine) Name() string { return "mupdn" }
 
+// Claims implements routing.Claimant: every layer is an Up*/Down*
+// routing, each acyclic on its own virtual layer.
+func (MultiEngine) Claims() routing.Claims { return routing.Claims{DeadlockFree: true, MinVCs: 1} }
+
 // Route implements routing.Engine.
 func (MultiEngine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {
 	if maxVCs < 1 {

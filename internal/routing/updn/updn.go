@@ -27,6 +27,10 @@ type Engine struct {
 // Name implements routing.Engine.
 func (Engine) Name() string { return "updn" }
 
+// Claims implements routing.Claimant: Up*/Down* forbids down->up turns,
+// so the dependency graph is acyclic on a single virtual layer.
+func (Engine) Claims() routing.Claims { return routing.Claims{DeadlockFree: true, MinVCs: 1} }
+
 // Route implements routing.Engine. The result uses a single layer.
 func (e Engine) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*routing.Result, error) {
 	if maxVCs < 1 {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/routing"
 	"repro/internal/routing/verify"
 	"repro/internal/topology"
@@ -21,7 +22,7 @@ import (
 // fuzzTopology derives a small topology from the fuzz inputs; every input
 // maps to some valid network so the fuzzer never wastes executions.
 func fuzzTopology(kind, a, b, c uint8, seed int64) *topology.Topology {
-	switch kind % 4 {
+	switch kind % 5 {
 	case 0:
 		return topology.Torus3D(2+int(a%3), 2+int(b%3), 2+int(c%2), 1+int(a%2), 1)
 	case 1:
@@ -30,6 +31,11 @@ func fuzzTopology(kind, a, b, c uint8, seed int64) *topology.Topology {
 		return topology.Dragonfly(sw, 1+int(b%2), h, sw*h+1)
 	case 2:
 		return topology.Kautz(2+int(a%2), 2, 1+int(b%2), 1)
+	case 4:
+		// 1D torus: with k=1 (see the seeded corpus) the layer is
+		// escape-dominated — nearly every route leans on the spanning
+		// tree, the regime where the CDG has the least slack.
+		return topology.Torus3D(4+int(a%6), 1, 1, 1+int(b%2), 1)
 	default:
 		rng := rand.New(rand.NewSource(seed))
 		sws := 10 + int(a)%30
@@ -66,6 +72,11 @@ func FuzzNueProperties(f *testing.F) {
 	f.Add(uint8(3), uint8(25), uint8(2), uint8(0), int64(4), uint8(3), uint8(2), uint8(8))
 	f.Add(uint8(0), uint8(2), uint8(2), uint8(1), int64(5), uint8(1), uint8(4), uint8(9))
 	f.Add(uint8(3), uint8(5), uint8(1), uint8(3), int64(6), uint8(2), uint8(0), uint8(3))
+	// Escape-dominated corners: rings routed with a single virtual layer
+	// (vcs%4 == 0 makes k = 1), where every route shares the one escape
+	// tree and the dependency slack is smallest.
+	f.Add(uint8(4), uint8(2), uint8(0), uint8(0), int64(7), uint8(0), uint8(1), uint8(0))
+	f.Add(uint8(4), uint8(5), uint8(1), uint8(0), int64(8), uint8(0), uint8(6), uint8(4))
 
 	f.Fuzz(func(t *testing.T, kind, a, b, c uint8, seed int64, vcs, workers, failPct uint8) {
 		tp := fuzzTopology(kind, a, b, c, seed)
@@ -87,7 +98,7 @@ func FuzzNueProperties(f *testing.F) {
 		if err != nil {
 			// Nue must succeed on every connected network for any k >= 1
 			// (Lemma 3); failure injection keeps the network connected.
-			t.Fatalf("kind=%d k=%d workers=%d: Route failed: %v", kind%4, k, w, err)
+			t.Fatalf("kind=%d k=%d workers=%d: Route failed: %v", kind%5, k, w, err)
 		}
 
 		// Lemma 1/3: every source reaches every destination over valid,
@@ -95,10 +106,17 @@ func FuzzNueProperties(f *testing.F) {
 		// dependency graph is acyclic.
 		rep, err := verify.Check(tp.Net, res, nil)
 		if err != nil {
-			t.Fatalf("kind=%d k=%d workers=%d: %v", kind%4, k, w, err)
+			t.Fatalf("kind=%d k=%d workers=%d: %v", kind%5, k, w, err)
 		}
 		if !rep.DeadlockFree {
 			t.Fatalf("verifier passed but reported not deadlock-free")
+		}
+
+		// Differential: the independent oracle (disjoint trusted base —
+		// its own walker, dependency graph and cycle search) must agree
+		// with the verifier on every fuzzed routing.
+		if _, oerr := oracle.Certify(tp.Net, res, oracle.Options{MaxVCs: k}); oerr != nil {
+			t.Fatalf("kind=%d k=%d workers=%d: verifier passed but oracle refutes: %v", kind%5, k, w, oerr)
 		}
 
 		// Destination-based consistency: the layer is a function of the
