@@ -78,6 +78,41 @@ func TestBenchGuardRouteParallel(t *testing.T) {
 	}
 }
 
+// TestBenchGuardDistrib: the pr5 recording (forwarding-plane
+// distribution) must keep every benchmark shared with pr3 within 5%,
+// and must record the two distribution benchmarks. Within the
+// recording, the delta encode of one churn event must run strictly
+// faster than a full LFT compile — the reason delta distribution
+// exists.
+func TestBenchGuardDistrib(t *testing.T) {
+	prev := loadBaseline(t, "BENCH_pr3.json")
+	cur := loadBaseline(t, "BENCH_pr5.json")
+	const tolerance = 1.05
+	checked := 0
+	for name, was := range prev {
+		now, ok := cur[name]
+		if !ok {
+			continue
+		}
+		checked++
+		if float64(now) > float64(was)*tolerance {
+			t.Errorf("%s regressed: %d ns/op vs %d ns/op (>%.0f%%)",
+				name, now, was, (tolerance-1)*100)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("pr3 and pr5 baselines share no benchmark names; guard checked nothing")
+	}
+	compile, okC := cur["BenchmarkLFTCompile"]
+	encode, okE := cur["BenchmarkDeltaEncode"]
+	if !okC || !okE {
+		t.Fatal("BENCH_pr5.json is missing BenchmarkLFTCompile or BenchmarkDeltaEncode")
+	}
+	if encode >= compile {
+		t.Errorf("delta encode (%d ns/op) not faster than LFT compile (%d ns/op)", encode, compile)
+	}
+}
+
 // TestBenchGuardTelemetryOverhead: within the pr3 recording, the
 // telemetry-on sweep must stay within 5% of the telemetry-off sweep —
 // the recorded form of the zero-overhead-when-off design contract

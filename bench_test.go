@@ -7,14 +7,18 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/centrality"
 	"repro/internal/core"
+	"repro/internal/distrib"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/partition"
+	"repro/internal/routing"
 	"repro/internal/routing/dfsssp"
 	"repro/internal/routing/dor"
 	"repro/internal/routing/lash"
@@ -308,6 +312,89 @@ func benchFabricChurn(b *testing.B, full bool) {
 func BenchmarkChurnIncrementalRepair(b *testing.B) { benchFabricChurn(b, false) }
 
 func BenchmarkChurnFullRecompute(b *testing.B) { benchFabricChurn(b, true) }
+
+// --- Forwarding-plane distribution: LFT compile + delta encode ---
+
+// distribBench lazily routes the RouteParallel fabric (8-ary 3-D torus,
+// 512 switches) once and applies one route-changing churn event,
+// yielding the two adjacent epochs the distribution benchmarks compile
+// and delta-encode. Setup is shared so the expensive initial routing is
+// paid once per benchmark binary.
+var distribBench struct {
+	once     sync.Once
+	old, cur *fabric.Snapshot
+	err      error
+}
+
+func distribBenchEpochs(b *testing.B) (*fabric.Snapshot, *fabric.Snapshot) {
+	b.Helper()
+	distribBench.once.Do(func() {
+		tp := topology.Torus3D(8, 8, 8, 1, 1)
+		m, err := NewFabricManager(tp, FabricOptions{MaxVCs: 4, Seed: 1})
+		if err != nil {
+			distribBench.err = err
+			return
+		}
+		old := m.View()
+		rng := rand.New(rand.NewSource(17))
+		for {
+			ev, ok := m.RandomEvent(rng, 0)
+			if !ok {
+				distribBench.err = fmt.Errorf("no churn event possible")
+				return
+			}
+			rep, err := m.Apply(ev)
+			if err != nil {
+				distribBench.err = err
+				return
+			}
+			if !rep.NoOp && rep.Delta.Changed+rep.Delta.Added+rep.Delta.Removed > 0 {
+				break
+			}
+		}
+		distribBench.old, distribBench.cur = old, m.View()
+	})
+	if distribBench.err != nil {
+		b.Fatal(distribBench.err)
+	}
+	return distribBench.old, distribBench.cur
+}
+
+// BenchmarkLFTCompile measures lowering one routing epoch into
+// per-switch linear forwarding tables with row checksums and
+// pre-encoded wire payloads (distrib.Compile) — the per-epoch cost the
+// distribution source pays before any byte hits the network.
+func BenchmarkLFTCompile(b *testing.B) {
+	_, cur := distribBenchEpochs(b)
+	e := distrib.Epoch{Seq: cur.Epoch, Net: cur.Net, Result: cur.Result}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var c *distrib.CompiledEpoch
+	for i := 0; i < b.N; i++ {
+		c = distrib.Compile(e)
+	}
+	b.ReportMetric(float64(c.Rows*c.Cols), "entries")
+}
+
+// BenchmarkDeltaEncode measures diffing two adjacent epochs' tables and
+// binary-encoding the result (routing.EntryDiff + routing.EncodeDelta)
+// — the per-epoch, per-push cost of delta distribution.
+func BenchmarkDeltaEncode(b *testing.B) {
+	old, cur := distribBenchEpochs(b)
+	oldT, curT := old.Result.Table, cur.Result.Table
+	rows, cols := curT.Shape()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var buf []byte
+	var n int
+	for i := 0; i < b.N; i++ {
+		entries, _ := routing.EntryDiff(oldT, curT)
+		buf = routing.EncodeDelta(buf[:0], rows, cols, entries)
+		n = len(entries)
+	}
+	b.ReportMetric(float64(n), "changed-entries")
+	b.ReportMetric(float64(len(buf)), "delta-bytes")
+}
 
 // --- Ablations (DESIGN.md §7) ---
 

@@ -8,6 +8,7 @@
 //	nuefm -topo dragonfly -events 50 -pjoin 0.4         # more rejoins
 //	nuefm -topo random -trace failures.txt              # replay a trace
 //	nuefm -topo torus -events 20 -full                  # full-recompute baseline
+//	nuefm -serve :9411 -events 20 -hold 1m              # distribute LFTs to nueagent fleets
 //
 // Trace files hold one event per line ("fail-link <from> <to>",
 // "join-link <from> <to>", "fail-switch <id>", "join-switch <id>"; '#'
@@ -27,6 +28,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/distrib"
 	"repro/internal/fabric"
 	"repro/internal/graph"
 	"repro/internal/oracle"
@@ -50,6 +52,7 @@ func main() {
 		useOracle = flag.Bool("oracle", false, "certify every published epoch with the independent oracle (internal/oracle)")
 		full      = flag.Bool("full", false, "disable incremental repair (full recompute per event)")
 		telemAddr = flag.String("telemetry-addr", "", "serve Prometheus /metrics, /telemetry.json and net/http/pprof on this address (e.g. :9090; empty = off)")
+		serveAddr = flag.String("serve", "", "distribute forwarding tables to nueagent fleets on this address (e.g. :9411; empty = off)")
 		interval  = flag.Duration("event-interval", 0, "pause between churn events (gives scrapers a live view)")
 		hold      = flag.Duration("hold", 0, "keep running (and serving telemetry) this long after the last event")
 	)
@@ -85,6 +88,28 @@ func main() {
 		opts.PostCheck = func(net *graph.Network, res *routing.Result) error {
 			_, err := oracle.Certify(net, res, oracle.Options{MaxVCs: budget})
 			return err
+		}
+	}
+	var src *distrib.Source
+	if *serveAddr != "" {
+		src = distrib.NewSource(distrib.Options{
+			Certify:   distrib.DefaultCertify,
+			Telemetry: reg.Distrib(),
+			Logf: func(format string, args ...any) {
+				fmt.Printf("# "+format+"\n", args...)
+			},
+		})
+		defer src.Close()
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		go src.Serve(ln)
+		fmt.Printf("# distributing forwarding tables on %s (connect with: nueagent -connect %s)\n",
+			ln.Addr(), ln.Addr())
+		opts.OnPublish = func(s *fabric.Snapshot) {
+			src.Publish(distrib.Epoch{Seq: s.Epoch, Net: s.Net, Result: s.Result})
 		}
 	}
 	m, err := fabric.NewManager(tp, opts)
@@ -148,6 +173,17 @@ func main() {
 		100*float64(mt.RepairedDests)/float64(max(1, mt.DestRoutes)), mt.LayerRebuilds, mt.FullRecomputes)
 	fmt.Printf("# table entries: %.1f%% unchanged across events; total repair time %s\n",
 		100*mt.Delta.UnchangedFraction(), mt.RepairTime.Round(time.Millisecond))
+	if src != nil {
+		// Give connected agents a chance to catch up, then report the
+		// fleet state.
+		src.WaitConverged(m.Epoch(), 10*time.Second)
+		if e, ok := src.FleetEpoch(); ok {
+			fmt.Printf("# fleet: committed epoch %d (source epoch %d), %d quarantined\n",
+				e, m.Epoch(), len(src.Quarantined()))
+		} else {
+			fmt.Println("# fleet: no epoch committed")
+		}
+	}
 	if *hold > 0 {
 		fmt.Printf("# holding for %s (telemetry stays scrapeable)\n", *hold)
 		time.Sleep(*hold)

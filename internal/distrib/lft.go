@@ -1,0 +1,178 @@
+package distrib
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Epoch is one immutable routing epoch handed to the Source — the
+// distribution view of a fabric.Snapshot (the package defines its own
+// type so fabric need not import distrib nor vice versa).
+type Epoch struct {
+	Seq    uint64
+	Net    *graph.Network
+	Result *routing.Result
+}
+
+// CompiledEpoch is an Epoch compiled into per-switch linear forwarding
+// tables: one row of next-hop channels per switch, in ascending switch
+// ID order (which equals the routing table's row order), with per-row
+// CRCs and pre-encoded full-row wire payloads.
+type CompiledEpoch struct {
+	Epoch
+	// Rows and Cols are the table shape.
+	Rows, Cols int
+	// Switches[i] is the switch owning row i (ascending IDs).
+	Switches []graph.NodeID
+	// LFTs[i] is row i: the next-hop channel per destination column.
+	LFTs [][]graph.ChannelID
+	// CRCs[i] is RowCRC(LFTs[i]).
+	CRCs []uint32
+	// fullPayloads[i] is the pre-encoded MsgLFT payload of row i, built
+	// once and shared by every full push.
+	fullPayloads [][]byte
+	rowOf        map[graph.NodeID]int
+}
+
+// RowCRC is the canonical checksum of one LFT row: CRC-32 (IEEE) over
+// the little-endian uint32 encoding of next+1 per column. Agents and
+// the source compute it independently; a staged row is installable only
+// if both sides agree.
+func RowCRC(row []graph.ChannelID) uint32 {
+	var scratch [4]byte
+	sum := uint32(0)
+	for _, ch := range row {
+		binary.LittleEndian.PutUint32(scratch[:], uint32(ch+1))
+		sum = crc32.Update(sum, crc32.IEEETable, scratch[:])
+	}
+	return sum
+}
+
+// FleetCRC aggregates row CRCs into one checksum over a row sequence:
+// CRC-32 over the little-endian concatenation of the per-row CRCs. The
+// same aggregation over the same switch order is computed by agents, so
+// a single u32 in each ack cross-checks an entire staged table set.
+func FleetCRC(crcs []uint32) uint32 {
+	var scratch [4]byte
+	sum := uint32(0)
+	for _, c := range crcs {
+		binary.LittleEndian.PutUint32(scratch[:], c)
+		sum = crc32.Update(sum, crc32.IEEETable, scratch[:])
+	}
+	return sum
+}
+
+// Compile lowers an epoch's forwarding table into per-switch LFTs.
+func Compile(e Epoch) *CompiledEpoch {
+	t := e.Result.Table
+	rows, cols := t.Shape()
+	c := &CompiledEpoch{
+		Epoch:        e,
+		Rows:         rows,
+		Cols:         cols,
+		Switches:     e.Net.Switches(),
+		LFTs:         make([][]graph.ChannelID, 0, rows),
+		CRCs:         make([]uint32, 0, rows),
+		fullPayloads: make([][]byte, 0, rows),
+		rowOf:        make(map[graph.NodeID]int, rows),
+	}
+	if len(c.Switches) != rows {
+		panic(fmt.Sprintf("distrib: %d switches for %d table rows", len(c.Switches), rows))
+	}
+	for i, sw := range c.Switches {
+		if t.RowIndex(sw) != int32(i) {
+			panic(fmt.Sprintf("distrib: switch %d owns row %d, expected %d", sw, t.RowIndex(sw), i))
+		}
+		row := t.AppendRow(make([]graph.ChannelID, 0, cols), sw)
+		c.LFTs = append(c.LFTs, row)
+		c.CRCs = append(c.CRCs, RowCRC(row))
+		c.fullPayloads = append(c.fullPayloads, AppendLFT(nil, sw, row))
+		c.rowOf[sw] = i
+	}
+	return c
+}
+
+// RowIndexOf returns the row of switch sw (-1 if sw owns none).
+func (c *CompiledEpoch) RowIndexOf(sw graph.NodeID) int {
+	if i, ok := c.rowOf[sw]; ok {
+		return i
+	}
+	return -1
+}
+
+// OwnedCRC returns the aggregate checksum an agent owning the given
+// switches (nil = all) must report for this epoch — the reference value
+// of a torn-install check.
+func (c *CompiledEpoch) OwnedCRC(owned []graph.NodeID) uint32 {
+	return c.fleetCRCFor(c.ownedRows(owned))
+}
+
+// ownedRows resolves an ownership list (nil = all switches) to row
+// indices in ascending order, skipping unknown switches.
+func (c *CompiledEpoch) ownedRows(owned []graph.NodeID) []int {
+	if owned == nil {
+		rows := make([]int, c.Rows)
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows
+	}
+	rows := make([]int, 0, len(owned))
+	for _, sw := range owned {
+		if i, ok := c.rowOf[sw]; ok {
+			rows = append(rows, i)
+		}
+	}
+	return rows
+}
+
+// rowSums builds the MsgPrepare checksum list for a row set.
+func (c *CompiledEpoch) rowSums(rows []int) []RowSum {
+	sums := make([]RowSum, len(rows))
+	for i, r := range rows {
+		sums[i] = RowSum{Switch: c.Switches[r], CRC: c.CRCs[r]}
+	}
+	return sums
+}
+
+// fleetCRCFor aggregates the row CRCs of a row set.
+func (c *CompiledEpoch) fleetCRCFor(rows []int) uint32 {
+	crcs := make([]uint32, len(rows))
+	for i, r := range rows {
+		crcs[i] = c.CRCs[r]
+	}
+	return FleetCRC(crcs)
+}
+
+// fullSize returns the summed MsgLFT payload size of a row set — the
+// denominator of the delta-compression ratio.
+func (c *CompiledEpoch) fullSize(rows []int) int {
+	n := 0
+	for _, r := range rows {
+		n += len(c.fullPayloads[r])
+	}
+	return n
+}
+
+// deltaEntries computes the local-row-space delta from base for the
+// given row set: entries transforming base's rows into c's, with Row
+// rewritten to the position within the set (the agent's local row
+// index). base must share the epoch shape; callers guard that.
+func (c *CompiledEpoch) deltaEntries(base *CompiledEpoch, rows []int) []routing.DeltaEntry {
+	var entries []routing.DeltaEntry
+	for local, r := range rows {
+		oldRow, newRow := base.LFTs[r], c.LFTs[r]
+		for col := range newRow {
+			if oldRow[col] != newRow[col] {
+				entries = append(entries, routing.DeltaEntry{
+					Row: int32(local), Col: int32(col), Next: newRow[col],
+				})
+			}
+		}
+	}
+	return entries
+}

@@ -58,7 +58,11 @@ func (m *Manager) Apply(ev Event) (*EventReport, error) {
 	report.Delta = routing.Diff(old.Result.Table, res.Table)
 	report.Epoch = old.Epoch + 1
 	report.Latency = time.Since(start)
-	m.snap.Store(&Snapshot{Epoch: report.Epoch, Net: newNet, Result: res})
+	snap := &Snapshot{Epoch: report.Epoch, Net: newNet, Result: res}
+	m.snap.Store(snap)
+	if m.opts.OnPublish != nil {
+		m.opts.OnPublish(snap)
+	}
 	m.metrics.add(report)
 	recordEvent(m.opts.Telemetry, report, nil)
 	return report, nil

@@ -70,6 +70,13 @@ type Options struct {
 	// EngineTelemetry optionally instruments the embedded Nue engine
 	// (full routings and repair widenings); independent of Telemetry.
 	EngineTelemetry *telemetry.EngineMetrics
+	// OnPublish, when non-nil, is called synchronously with every
+	// snapshot the manager publishes — the initial routing and each
+	// applied event — in publication order, while the manager's event
+	// lock is held. It is the distribution seam: hand the snapshot to a
+	// queue (e.g. distrib.Source.Publish) and return quickly; it must
+	// not call back into Apply.
+	OnPublish func(*Snapshot)
 }
 
 // workers resolves Options.Workers to an effective pool size.
@@ -175,7 +182,11 @@ func NewManager(tp *topology.Topology, opts Options) (*Manager, error) {
 		}
 	}
 	m.rebuildIndex(res.Table)
-	m.snap.Store(&Snapshot{Epoch: 0, Net: net, Result: res})
+	snap := &Snapshot{Epoch: 0, Net: net, Result: res}
+	m.snap.Store(snap)
+	if opts.OnPublish != nil {
+		opts.OnPublish(snap)
+	}
 	return m, nil
 }
 

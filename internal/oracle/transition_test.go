@@ -1,0 +1,153 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// transitionRing builds a 4-switch ring with one terminal per switch and
+// returns (net, switches, terminals).
+func transitionRing(t *testing.T) (*graph.Network, []graph.NodeID, []graph.NodeID) {
+	t.Helper()
+	b := graph.NewBuilder()
+	sw := make([]graph.NodeID, 4)
+	for i := range sw {
+		sw[i] = b.AddSwitch("")
+	}
+	for i := range sw {
+		b.AddLink(sw[i], sw[(i+1)%len(sw)])
+	}
+	term := make([]graph.NodeID, 4)
+	for i := range term {
+		term[i] = b.AddTerminal("")
+		b.AddLink(term[i], sw[i])
+	}
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, sw, term
+}
+
+// lineRouting routes every destination of the ring along the line that
+// omits the link between sw[skip] and sw[(skip+1)%4]: monotone walks on
+// a line, so the routing is individually deadlock-free on one layer.
+func lineRouting(t *testing.T, net *graph.Network, sw, term []graph.NodeID, skip int) *routing.Result {
+	t.Helper()
+	n := len(sw)
+	// order lists the switches along the line, starting after the
+	// omitted link.
+	order := make([]graph.NodeID, 0, n)
+	pos := make(map[graph.NodeID]int, n)
+	for i := 0; i < n; i++ {
+		s := sw[(skip+1+i)%n]
+		pos[s] = len(order)
+		order = append(order, s)
+	}
+	tbl := routing.NewTable(net, term)
+	for di, d := range term {
+		att := sw[di]
+		for _, s := range order {
+			if s == att {
+				tbl.Set(s, d, net.FindChannel(s, d))
+				continue
+			}
+			step := 1
+			if pos[att] < pos[s] {
+				step = -1
+			}
+			tbl.Set(s, d, net.FindChannel(s, order[pos[s]+step]))
+		}
+	}
+	return &routing.Result{Algorithm: "line", Table: tbl, VCs: 1}
+}
+
+func TestCertifyTransitionAcceptsIdentity(t *testing.T) {
+	net, sw, term := transitionRing(t)
+	res := lineRouting(t, net, sw, term, 3)
+	if _, err := Certify(net, res, Options{}); err != nil {
+		t.Fatalf("endpoint routing not certifiable: %v", err)
+	}
+	cert, err := CertifyTransition(net, res, res, Options{MaxVCs: 1})
+	if err != nil {
+		t.Fatalf("identity transition rejected: %v", err)
+	}
+	if !cert.DeadlockFree || cert.Dests != len(term) || cert.Deps == 0 {
+		t.Fatalf("implausible certificate: %+v", cert)
+	}
+}
+
+// TestCertifyTransitionRefutesIncompatibleSwap is the mutation test of
+// the union check: two routings that are each deadlock-free on one
+// layer, whose unsynchronized per-switch swap admits a dependency cycle.
+// The certifier must refute the transition with a concrete witness even
+// though both endpoints certify.
+func TestCertifyTransitionRefutesIncompatibleSwap(t *testing.T) {
+	net, sw, term := transitionRing(t)
+	oldRes := lineRouting(t, net, sw, term, 3) // line omits link s3-s0
+	newRes := lineRouting(t, net, sw, term, 1) // line omits link s1-s2
+	for _, res := range []*routing.Result{oldRes, newRes} {
+		if _, err := Certify(net, res, Options{MaxVCs: 1}); err != nil {
+			t.Fatalf("endpoint routing not certifiable: %v", err)
+		}
+	}
+	cert, err := CertifyTransition(net, oldRes, newRes, Options{MaxVCs: 1})
+	if err == nil {
+		t.Fatal("incompatible swap certified")
+	}
+	var ce *CycleError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CycleError, got %v", err)
+	}
+	if len(ce.Witness) < 2 {
+		t.Fatalf("witness too short: %+v", ce.Witness)
+	}
+	// The witness must be channel-continuous and closed.
+	for i, dep := range ce.Witness {
+		next := ce.Witness[(i+1)%len(ce.Witness)]
+		if dep.To != next.From {
+			t.Fatalf("witness discontinuous at %d: %+v -> %+v", i, dep, next)
+		}
+	}
+	if cert.DeadlockFree {
+		t.Fatal("certificate claims deadlock freedom despite cycle")
+	}
+
+	// Moving the new epoch to its own layer does NOT rescue the swap:
+	// packets injected under the old epoch still occupy layer 0 while
+	// mixed entries forward them, so the union cycle persists per lane.
+	layered := &routing.Result{
+		Algorithm: newRes.Algorithm,
+		Table:     newRes.Table,
+		VCs:       2,
+		DestLayer: []uint8{1, 1, 1, 1},
+	}
+	if _, err := CertifyTransition(net, oldRes, layered, Options{}); err == nil {
+		t.Fatal("layered incompatible swap certified")
+	}
+}
+
+func TestCertifyTransitionShapeErrors(t *testing.T) {
+	net, sw, term := transitionRing(t)
+	res := lineRouting(t, net, sw, term, 3)
+	bad := &routing.Result{
+		Algorithm: "pair",
+		Table:     res.Table,
+		VCs:       1,
+		PairLayer: make([][]uint8, net.NumNodes()),
+	}
+	var se *ShapeError
+	if _, err := CertifyTransition(net, res, bad, Options{}); !errors.As(err, &se) {
+		t.Fatalf("PairLayer result accepted: %v", err)
+	}
+	if _, err := CertifyTransition(net, nil, res, Options{}); !errors.As(err, &se) {
+		t.Fatalf("nil old result accepted: %v", err)
+	}
+	short := &routing.Result{Algorithm: "short", Table: routing.NewTable(net, term[:2]), VCs: 1}
+	if _, err := CertifyTransition(net, res, short, Options{}); !errors.As(err, &se) {
+		t.Fatalf("mismatched destination sets accepted: %v", err)
+	}
+}

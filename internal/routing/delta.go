@@ -1,6 +1,11 @@
 package routing
 
 import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
 	"repro/internal/graph"
 )
 
@@ -95,6 +100,32 @@ func (d TableDelta) UnchangedFraction() float64 {
 	return float64(d.Same) / float64(t)
 }
 
+// Shape returns the table dimensions: rows (switches) and cols
+// (destinations). next is indexed row-major: next[row*cols+col].
+func (t *Table) Shape() (rows, cols int) {
+	if len(t.dests) == 0 {
+		return 0, 0
+	}
+	return len(t.next) / len(t.dests), len(t.dests)
+}
+
+// RowIndex returns the table row of switch sw (-1 if sw owns no row).
+// Rows are assigned to switches in ascending node-ID order, so row r
+// belongs to the r-th switch of Network.Switches().
+func (t *Table) RowIndex(sw graph.NodeID) int32 { return t.swIndex[sw] }
+
+// AppendRow appends switch sw's row — one next-hop channel per
+// destination column, NoChannel for unpopulated entries — to dst and
+// returns the extended slice. It panics if sw owns no row.
+func (t *Table) AppendRow(dst []graph.ChannelID, sw graph.NodeID) []graph.ChannelID {
+	r := t.swIndex[sw]
+	if r < 0 {
+		panic(fmt.Sprintf("routing: AppendRow on non-switch node %d", sw))
+	}
+	stride := len(t.dests)
+	return append(dst, t.next[int(r)*stride:int(r)*stride+stride]...)
+}
+
 // Diff compares two tables entry by entry. Both must be built over the
 // same destination set and switch ID space (the fabric manager's tables
 // always are; it panics otherwise).
@@ -119,4 +150,188 @@ func Diff(old, new_ *Table) TableDelta {
 		}
 	}
 	return delta
+}
+
+// DeltaEntry is one entry-level difference between two tables: the entry
+// at row Row (switch row, see RowIndex) and column Col (destination
+// index) becomes Next. Next == graph.NoChannel encodes a cleared entry.
+type DeltaEntry struct {
+	Row, Col int32
+	Next     graph.ChannelID
+}
+
+// EntryDiff returns the entry-level delta transforming old into new_:
+// every (row, col) whose next hop differs, in ascending (row, col)
+// order. A nil old table stands for an empty table of the same shape, so
+// the result is the full dump of new_'s populated entries. The summary
+// counts match Diff. Shapes must agree (it panics otherwise, like Diff).
+func EntryDiff(old, new_ *Table) ([]DeltaEntry, TableDelta) {
+	if old != nil && (len(old.next) != len(new_.next) || len(old.dests) != len(new_.dests)) {
+		panic("routing: EntryDiff over differently shaped tables")
+	}
+	cols := len(new_.dests)
+	var entries []DeltaEntry
+	var delta TableDelta
+	for i := range new_.next {
+		a := graph.NoChannel
+		if old != nil {
+			a = old.next[i]
+		}
+		b := new_.next[i]
+		if a == b {
+			if a != graph.NoChannel {
+				delta.Same++
+			}
+			continue
+		}
+		switch {
+		case a == graph.NoChannel:
+			delta.Added++
+		case b == graph.NoChannel:
+			delta.Removed++
+		default:
+			delta.Changed++
+		}
+		entries = append(entries, DeltaEntry{Row: int32(i / cols), Col: int32(i % cols), Next: b})
+	}
+	return entries, delta
+}
+
+// ApplyDelta applies entry changes to the table in place. Entries must
+// lie within the table's shape (it panics otherwise); DecodeDelta output
+// for a matching shape always does.
+func (t *Table) ApplyDelta(entries []DeltaEntry) {
+	rows, cols := t.Shape()
+	for _, e := range entries {
+		if int(e.Row) >= rows || int(e.Col) >= cols || e.Row < 0 || e.Col < 0 {
+			panic(fmt.Sprintf("routing: ApplyDelta entry (%d,%d) outside %dx%d table", e.Row, e.Col, rows, cols))
+		}
+		t.next[int(e.Row)*cols+int(e.Col)] = e.Next
+	}
+}
+
+// Binary delta wire format (versioned, self-checking):
+//
+//	magic   "NuD1" (4 bytes)
+//	uvarint rows, cols, count
+//	count entries, sorted by position = row*cols+col:
+//	        uvarint position delta (absolute for the first entry,
+//	        strictly positive gap afterwards)
+//	        uvarint next+1 (0 encodes NoChannel, i.e. a cleared entry)
+//	crc32   IEEE over everything above (4 bytes little-endian)
+//
+// The CRC makes the payload self-checking: any single-bit corruption is
+// detected by DecodeDelta, which is what lets a distribution agent
+// reject a damaged frame instead of installing a partial table.
+var deltaMagic = [4]byte{'N', 'u', 'D', '1'}
+
+// ErrDeltaCorrupt is returned (wrapped) by DecodeDelta for any payload
+// that fails structural validation or its checksum.
+var ErrDeltaCorrupt = errors.New("routing: corrupt table delta")
+
+// EncodeDelta appends the binary encoding of an entry-level delta for a
+// rows x cols table to buf and returns the extended slice. Entries must
+// be sorted by (Row, Col) ascending with no duplicates and lie within
+// the shape (EntryDiff output always qualifies); it panics otherwise.
+func EncodeDelta(buf []byte, rows, cols int, entries []DeltaEntry) []byte {
+	start := len(buf)
+	buf = append(buf, deltaMagic[:]...)
+	buf = binary.AppendUvarint(buf, uint64(rows))
+	buf = binary.AppendUvarint(buf, uint64(cols))
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	prev := int64(-1)
+	for _, e := range entries {
+		if e.Row < 0 || int(e.Row) >= rows || e.Col < 0 || int(e.Col) >= cols {
+			panic(fmt.Sprintf("routing: EncodeDelta entry (%d,%d) outside %dx%d table", e.Row, e.Col, rows, cols))
+		}
+		pos := int64(e.Row)*int64(cols) + int64(e.Col)
+		if pos <= prev {
+			panic("routing: EncodeDelta entries not strictly ascending")
+		}
+		if prev < 0 {
+			buf = binary.AppendUvarint(buf, uint64(pos))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(pos-prev))
+		}
+		prev = pos
+		buf = binary.AppendUvarint(buf, uint64(uint32(e.Next+1)))
+	}
+	sum := crc32.ChecksumIEEE(buf[start:])
+	return binary.LittleEndian.AppendUint32(buf, sum)
+}
+
+// DecodeDelta parses an EncodeDelta payload, validating the checksum and
+// every structural invariant. It returns the declared shape and the
+// decoded entries (nil for an empty delta).
+func DecodeDelta(data []byte) (rows, cols int, entries []DeltaEntry, err error) {
+	fail := func(reason string) (int, int, []DeltaEntry, error) {
+		return 0, 0, nil, fmt.Errorf("%w: %s", ErrDeltaCorrupt, reason)
+	}
+	if len(data) < len(deltaMagic)+4 {
+		return fail("short payload")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return fail("checksum mismatch")
+	}
+	if [4]byte(body[:4]) != deltaMagic {
+		return fail("bad magic")
+	}
+	body = body[4:]
+	next := func() (uint64, bool) {
+		v, n := binary.Uvarint(body)
+		if n <= 0 {
+			return 0, false
+		}
+		body = body[n:]
+		return v, true
+	}
+	r, ok1 := next()
+	c, ok2 := next()
+	count, ok3 := next()
+	if !ok1 || !ok2 || !ok3 {
+		return fail("truncated header")
+	}
+	total := r * c
+	if r > 1<<24 || c > 1<<24 || count > total {
+		return fail("implausible shape or count")
+	}
+	pos := int64(-1)
+	entries = make([]DeltaEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		gap, ok := next()
+		if !ok {
+			return fail("truncated entry position")
+		}
+		if pos < 0 {
+			pos = int64(gap)
+		} else {
+			if gap == 0 {
+				return fail("non-ascending entry position")
+			}
+			pos += int64(gap)
+		}
+		if pos >= int64(total) {
+			return fail("entry position outside table")
+		}
+		raw, ok := next()
+		if !ok {
+			return fail("truncated entry value")
+		}
+		if raw > 1<<31 {
+			return fail("channel out of range")
+		}
+		entries = append(entries, DeltaEntry{
+			Row:  int32(pos / int64(c)),
+			Col:  int32(pos % int64(c)),
+			Next: graph.ChannelID(int32(raw) - 1),
+		})
+	}
+	if len(body) != 0 {
+		return fail("trailing bytes")
+	}
+	if count == 0 {
+		entries = nil
+	}
+	return int(r), int(c), entries, nil
 }

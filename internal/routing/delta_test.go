@@ -1,6 +1,8 @@
 package routing
 
 import (
+	"errors"
+	"math/rand"
 	"testing"
 
 	"repro/internal/graph"
@@ -85,5 +87,201 @@ func TestCloneClearDiff(t *testing.T) {
 	})
 	if n != 4 {
 		t.Fatalf("ForEach visited %d entries, want 4", n)
+	}
+}
+
+// lineTable routes both terminals of deltaNet along the line.
+func lineTable(t *testing.T, net *graph.Network) *Table {
+	t.Helper()
+	dests := net.Terminals()
+	tbl := NewTable(net, dests)
+	for _, d := range dests {
+		att := net.TerminalSwitch(d)
+		for _, s := range net.Switches() {
+			if s == att {
+				tbl.Set(s, d, net.FindChannel(s, d))
+				continue
+			}
+			step := graph.NodeID(1)
+			if att < s {
+				step = -1
+			}
+			tbl.Set(s, d, net.FindChannel(s, s+step))
+		}
+	}
+	return tbl
+}
+
+// tablesEqual compares two tables entry by entry.
+func tablesEqual(a, b *Table) bool {
+	d := Diff(a, b)
+	return d.Changed+d.Added+d.Removed == 0
+}
+
+func TestEntryDiffMatchesDiff(t *testing.T) {
+	net := deltaNet(t)
+	old := lineTable(t, net)
+	new_ := old.Clone(nil)
+	d0, d1 := net.Terminals()[0], net.Terminals()[1]
+	new_.ClearDest(d0)                                  // removed entries
+	new_.Set(net.Switches()[1], d1, graph.ChannelID(0)) // changed entry
+	entries, summary := EntryDiff(old, new_)
+	if want := Diff(old, new_); summary != want {
+		t.Fatalf("EntryDiff summary %+v != Diff %+v", summary, want)
+	}
+	if len(entries) != summary.Changed+summary.Added+summary.Removed {
+		t.Fatalf("%d entries for summary %+v", len(entries), summary)
+	}
+	// Applying the delta to a copy of old reproduces new exactly.
+	patched := old.Clone(nil)
+	patched.ApplyDelta(entries)
+	if !tablesEqual(patched, new_) {
+		t.Fatal("ApplyDelta(EntryDiff(old,new)) did not reproduce new")
+	}
+	// Cleared entries round as NoChannel, not as absent.
+	found := false
+	for _, e := range entries {
+		if e.Next == graph.NoChannel {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("EntryDiff lost the cleared entries")
+	}
+}
+
+func TestEntryDiffNilOldIsFullDump(t *testing.T) {
+	net := deltaNet(t)
+	tbl := lineTable(t, net)
+	entries, summary := EntryDiff(nil, tbl)
+	if summary.Added != 8 || summary.Changed+summary.Removed+summary.Same != 0 {
+		t.Fatalf("full dump summary = %+v, want 8 added", summary)
+	}
+	fresh := NewTable(net, net.Terminals())
+	fresh.ApplyDelta(entries)
+	if !tablesEqual(fresh, tbl) {
+		t.Fatal("full-dump delta did not rebuild the table")
+	}
+}
+
+// roundTrip encodes and decodes a delta, failing the test on any
+// mismatch, and returns the encoding.
+func roundTrip(t *testing.T, rows, cols int, entries []DeltaEntry) []byte {
+	t.Helper()
+	buf := EncodeDelta(nil, rows, cols, entries)
+	r, c, got, err := DecodeDelta(buf)
+	if err != nil {
+		t.Fatalf("DecodeDelta: %v", err)
+	}
+	if r != rows || c != cols {
+		t.Fatalf("shape %dx%d, want %dx%d", r, c, rows, cols)
+	}
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i := range got {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], entries[i])
+		}
+	}
+	return buf
+}
+
+func TestDeltaCodecRoundTrip(t *testing.T) {
+	// Empty diff: a valid, minimal payload.
+	roundTrip(t, 4, 2, nil)
+	// Zero-shape table (no destinations).
+	roundTrip(t, 0, 0, nil)
+	// Cleared entry (NoChannel), first-position entry, last-position
+	// entry, and a large channel ID in one payload.
+	roundTrip(t, 3, 3, []DeltaEntry{
+		{Row: 0, Col: 0, Next: graph.NoChannel},
+		{Row: 1, Col: 2, Next: 0},
+		{Row: 2, Col: 2, Next: 1<<31 - 2},
+	})
+	// Full-table dump from a nil old table.
+	net := deltaNet(t)
+	tbl := lineTable(t, net)
+	rows, cols := tbl.Shape()
+	entries, _ := EntryDiff(nil, tbl)
+	roundTrip(t, rows, cols, entries)
+	// Appending to a non-empty buffer leaves the prefix alone.
+	buf := EncodeDelta([]byte("prefix"), rows, cols, entries)
+	if string(buf[:6]) != "prefix" {
+		t.Fatal("EncodeDelta clobbered the prefix")
+	}
+	if _, _, _, err := DecodeDelta(buf[6:]); err != nil {
+		t.Fatalf("decode after prefix append: %v", err)
+	}
+}
+
+func TestDeltaCodecRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		rows, cols := rng.Intn(20), 1+rng.Intn(20)
+		var entries []DeltaEntry
+		for pos := 0; pos < rows*cols; pos++ {
+			if rng.Intn(3) != 0 {
+				continue
+			}
+			entries = append(entries, DeltaEntry{
+				Row:  int32(pos / cols),
+				Col:  int32(pos % cols),
+				Next: graph.ChannelID(rng.Intn(1000) - 1),
+			})
+		}
+		roundTrip(t, rows, cols, entries)
+	}
+}
+
+func TestDeltaCodecDetectsCorruption(t *testing.T) {
+	net := deltaNet(t)
+	tbl := lineTable(t, net)
+	rows, cols := tbl.Shape()
+	entries, _ := EntryDiff(nil, tbl)
+	buf := EncodeDelta(nil, rows, cols, entries)
+	// Any single corrupted byte must be rejected (the CRC catches every
+	// single-byte change), including in the CRC itself.
+	for i := range buf {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), buf...)
+			mut[i] ^= flip
+			if _, _, _, err := DecodeDelta(mut); err == nil {
+				t.Fatalf("corruption at byte %d (^%#x) went undetected", i, flip)
+			} else if !errors.Is(err, ErrDeltaCorrupt) {
+				t.Fatalf("corruption error not ErrDeltaCorrupt: %v", err)
+			}
+		}
+	}
+	// Every truncation must be rejected too.
+	for n := 0; n < len(buf); n++ {
+		if _, _, _, err := DecodeDelta(buf[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", n)
+		}
+	}
+}
+
+func TestAppendRowAndRowIndex(t *testing.T) {
+	net := deltaNet(t)
+	tbl := lineTable(t, net)
+	_, cols := tbl.Shape()
+	for _, sw := range net.Switches() {
+		row := tbl.AppendRow(nil, sw)
+		if len(row) != cols {
+			t.Fatalf("row of switch %d has %d cols, want %d", sw, len(row), cols)
+		}
+		for di, d := range tbl.Dests() {
+			if row[di] != tbl.Next(sw, d) {
+				t.Fatalf("row[%d] of switch %d = %d, want %d", di, sw, row[di], tbl.Next(sw, d))
+			}
+		}
+		if r := tbl.RowIndex(sw); r < 0 {
+			t.Fatalf("RowIndex(%d) = %d", sw, r)
+		}
+	}
+	for _, term := range net.Terminals() {
+		if tbl.RowIndex(term) != -1 {
+			t.Fatal("terminal owns a table row")
+		}
 	}
 }

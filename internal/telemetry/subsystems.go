@@ -115,6 +115,73 @@ func (r *Registry) Fabric() *FabricMetrics {
 	}
 }
 
+// DistribMetrics instruments the forwarding-plane distribution source
+// (internal/distrib): the comms, robustness and install-ordering layer
+// between the fabric manager and the switch-agent fleet.
+type DistribMetrics struct {
+	// EpochsPublished counts epochs handed to the source; RoundsStarted
+	// distribution rounds begun; EpochsCommitted rounds that reached the
+	// fleet-wide commit barrier.
+	EpochsPublished, RoundsStarted, EpochsCommitted *Counter
+	// TransitionsCertified counts rounds whose union state the oracle
+	// certified; DrainFallbacks rounds that had to drain the fleet
+	// because the union was refuted (or no certifier was wired).
+	TransitionsCertified, DrainFallbacks *Counter
+	// FramesSent and BytesSent aggregate the wire traffic pushed to
+	// agents; EpochBytes is the per-agent bytes-per-epoch distribution.
+	FramesSent, BytesSent *Counter
+	EpochBytes            *Histogram
+	// DeltaPermille is the per-push ratio of delta-encoded bytes to the
+	// full-snapshot size of the same tables, in permille (1000 = no
+	// saving); FullSyncs counts pushes that fell back to a full
+	// snapshot (new agent, stale base, or a NAK re-sync).
+	DeltaPermille *Histogram
+	FullSyncs     *Counter
+	// PrepareNanos is the per-agent prepare round-trip latency (the
+	// fanout latency histogram); BarrierNanos the whole-fleet
+	// prepare-barrier latency; CommitNanos the commit-phase latency.
+	PrepareNanos, BarrierNanos, CommitNanos *Histogram
+	// Retries counts per-agent resend attempts; Naks checksum or
+	// base-mismatch rejections received from agents.
+	Retries, Naks *Counter
+	// AgentsConnected tracks the live fleet size; Quarantined the
+	// stragglers currently excluded from the ack barrier.
+	AgentsConnected, Quarantined *Gauge
+	// FleetEpoch mirrors the last fleet-committed epoch.
+	FleetEpoch *Gauge
+	// Events receives one "distrib_round" entry per distribution round.
+	Events *Ring
+}
+
+// Distrib returns the distribution bundle registered under distrib_*
+// names (nil, all-no-op, on a nil registry).
+func (r *Registry) Distrib() *DistribMetrics {
+	if r == nil {
+		return nil
+	}
+	return &DistribMetrics{
+		EpochsPublished:      r.Counter("distrib_epochs_published_total"),
+		RoundsStarted:        r.Counter("distrib_rounds_started_total"),
+		EpochsCommitted:      r.Counter("distrib_epochs_committed_total"),
+		TransitionsCertified: r.Counter("distrib_transitions_certified_total"),
+		DrainFallbacks:       r.Counter("distrib_drain_fallbacks_total"),
+		FramesSent:           r.Counter("distrib_frames_sent_total"),
+		BytesSent:            r.Counter("distrib_bytes_sent_total"),
+		EpochBytes:           r.Histogram("distrib_epoch_bytes"),
+		DeltaPermille:        r.Histogram("distrib_delta_permille"),
+		FullSyncs:            r.Counter("distrib_full_syncs_total"),
+		PrepareNanos:         r.Histogram("distrib_prepare_nanos"),
+		BarrierNanos:         r.Histogram("distrib_barrier_nanos"),
+		CommitNanos:          r.Histogram("distrib_commit_nanos"),
+		Retries:              r.Counter("distrib_retries_total"),
+		Naks:                 r.Counter("distrib_naks_total"),
+		AgentsConnected:      r.Gauge("distrib_agents_connected"),
+		Quarantined:          r.Gauge("distrib_agents_quarantined"),
+		FleetEpoch:           r.Gauge("distrib_fleet_epoch"),
+		Events:               r.Ring(),
+	}
+}
+
 // MaxTrackedVCs bounds the per-VC gauge vector of the simulator bundle;
 // virtual lanes beyond it fold into the last gauge.
 const MaxTrackedVCs = 16

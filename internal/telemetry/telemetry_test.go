@@ -247,3 +247,33 @@ func TestConcurrency(t *testing.T) {
 	}
 	_ = r.Snapshot()
 }
+
+func TestDistribBundle(t *testing.T) {
+	var nilReg *Registry
+	if dm := nilReg.Distrib(); dm != nil {
+		t.Fatal("nil registry handed out a live distrib bundle")
+	}
+	var off DistribMetrics // zero bundle: every handle is a nil-safe no-op
+	off.EpochsCommitted.Inc()
+	off.PrepareNanos.Observe(5)
+	off.Quarantined.Set(1)
+
+	r := New()
+	dm := r.Distrib()
+	dm.EpochsCommitted.Inc()
+	dm.DrainFallbacks.Add(2)
+	dm.DeltaPermille.Observe(120)
+	dm.Quarantined.Set(3)
+	dm.FleetEpoch.Set(7)
+	s := r.Snapshot()
+	if s.Counters["distrib_epochs_committed_total"] != 1 ||
+		s.Counters["distrib_drain_fallbacks_total"] != 2 {
+		t.Error("distrib counters not in snapshot")
+	}
+	if s.Histograms["distrib_delta_permille"].Count != 1 {
+		t.Error("distrib_delta_permille not in snapshot")
+	}
+	if s.Gauges["distrib_agents_quarantined"] != 3 || s.Gauges["distrib_fleet_epoch"] != 7 {
+		t.Error("distrib gauges not in snapshot")
+	}
+}
