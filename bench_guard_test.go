@@ -113,6 +113,45 @@ func TestBenchGuardDistrib(t *testing.T) {
 	}
 }
 
+// TestBenchGuardMcast: the pr6 recording (multicast subsystem) must
+// keep every benchmark shared with pr5 within 5% — growing cast trees
+// must not tax the unicast routing or distribution hot paths — and must
+// record BenchmarkCastTreeBuild. Within the recording, building the
+// whole cast table must run strictly faster than routing the unicast
+// fabric it extends: trees are grown inside an already-seeded CDG, not
+// re-derived from scratch.
+func TestBenchGuardMcast(t *testing.T) {
+	prev := loadBaseline(t, "BENCH_pr5.json")
+	cur := loadBaseline(t, "BENCH_pr6.json")
+	const tolerance = 1.05
+	checked := 0
+	for name, was := range prev {
+		now, ok := cur[name]
+		if !ok {
+			continue
+		}
+		checked++
+		if float64(now) > float64(was)*tolerance {
+			t.Errorf("%s regressed: %d ns/op vs %d ns/op (>%.0f%%)",
+				name, now, was, (tolerance-1)*100)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("pr5 and pr6 baselines share no benchmark names; guard checked nothing")
+	}
+	build, okB := cur["BenchmarkCastTreeBuild"]
+	if !okB {
+		t.Fatal("BENCH_pr6.json is missing BenchmarkCastTreeBuild")
+	}
+	route, okR := cur["BenchmarkRouteParallel/workers=1"]
+	if !okR {
+		t.Fatal("BENCH_pr6.json is missing BenchmarkRouteParallel/workers=1")
+	}
+	if build >= route {
+		t.Errorf("cast-table build (%d ns/op) not faster than the unicast routing it extends (%d ns/op)", build, route)
+	}
+}
+
 // TestBenchGuardTelemetryOverhead: within the pr3 recording, the
 // telemetry-on sweep must stay within 5% of the telemetry-off sweep —
 // the recorded form of the zero-overhead-when-off design contract

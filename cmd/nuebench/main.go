@@ -7,6 +7,7 @@
 //	nuebench -exp fig10 -phases 0      # Table 1 topologies, full all-to-all
 //	nuebench -exp fig11 -maxdim 10     # routing runtime scaling
 //	nuebench -exp table1               # topology configuration table
+//	nuebench -exp mcast -mcast-groups 8 -mcast-size 6  # cast-tree routing + replication sim
 //	nuebench -exp all                  # everything, default scales
 //
 // Default scales are laptop-sized; the flags restore the paper's full
@@ -26,16 +27,18 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, all")
-		trials  = flag.Int("trials", 5, "fig9: number of random topologies (paper: 1000)")
-		phases  = flag.Int("phases", 16, "fig10: all-to-all shift phases (0 = full, the paper's workload)")
-		maxDim  = flag.Int("maxdim", 6, "fig11: largest torus dimension (paper: 10)")
-		maxVCs  = flag.Int("vcs", 0, "override VC budget (0 = per-experiment default)")
-		seed    = flag.Int64("seed", 1, "random seed for topologies and partitioning")
-		workers = flag.Int("workers", 0, "Nue routing goroutines, 0 = GOMAXPROCS (routes are identical for every value)")
-		verify  = flag.Bool("verify", false, "fig11: verify deadlock freedom of every result (slow)")
-		telem   = flag.Bool("telemetry", false, "instrument the runs (currently fig1) and append a JSON metrics dump")
-		out     = flag.String("o", "", "write output to file instead of stdout")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, mcast, all")
+		trials   = flag.Int("trials", 5, "fig9: number of random topologies (paper: 1000)")
+		phases   = flag.Int("phases", 16, "fig10: all-to-all shift phases (0 = full, the paper's workload)")
+		maxDim   = flag.Int("maxdim", 6, "fig11: largest torus dimension (paper: 10)")
+		maxVCs   = flag.Int("vcs", 0, "override VC budget (0 = per-experiment default)")
+		seed     = flag.Int64("seed", 1, "random seed for topologies and partitioning")
+		workers  = flag.Int("workers", 0, "Nue routing goroutines, 0 = GOMAXPROCS (routes are identical for every value)")
+		verify   = flag.Bool("verify", false, "fig11: verify deadlock freedom of every result (slow)")
+		mcGroups = flag.Int("mcast-groups", 8, "mcast: number of seeded random multicast groups")
+		mcSize   = flag.Int("mcast-size", 6, "mcast: members per multicast group")
+		telem    = flag.Bool("telemetry", false, "instrument the runs (currently fig1) and append a JSON metrics dump")
+		out      = flag.String("o", "", "write output to file instead of stdout")
 	)
 	flag.Parse()
 
@@ -110,6 +113,16 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		case "mcast":
+			cfg := experiments.DefaultMcastConfig()
+			cfg.Groups = *mcGroups
+			cfg.GroupSize = *mcSize
+			cfg.Seed = *seed
+			cfg.Workers = *workers
+			if *maxVCs > 0 {
+				cfg.MaxVCs = *maxVCs
+			}
+			experiments.WriteMcast(w, cfg)
 		case "fig11":
 			cfg := experiments.DefaultFig11Config()
 			cfg.MaxDim = *maxDim

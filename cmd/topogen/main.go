@@ -11,6 +11,11 @@
 //
 // Fault injection: -faillinks 0.01 removes 1% of switch-switch links,
 // -failswitch N disconnects switch N.
+//
+// Multicast workloads: -groups 16 -group-size 8 emits 16 seeded random
+// group memberships of 8 terminals each as mcastgroup lines alongside
+// the topology (same -seed that drives the generator drives the
+// membership draw).
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/mcast"
 	"repro/internal/topology"
 )
 
@@ -39,6 +45,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		failLinks = flag.Float64("faillinks", 0, "fraction of switch-switch links to fail")
 		failSw    = flag.Int("failswitch", -1, "switch ID to disconnect")
+		groups    = flag.Int("groups", 0, "multicast groups to emit with the topology")
+		groupSize = flag.Int("group-size", 8, "terminals per multicast group")
 		out       = flag.String("out", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -87,6 +95,13 @@ func main() {
 		tp, n = topology.InjectLinkFailures(tp, rng, *failLinks)
 		fmt.Fprintf(os.Stderr, "failed %d links\n", n)
 	}
+	if *groups > 0 {
+		// Memberships are drawn after fault injection so they only cover
+		// still-connected terminals.
+		for _, g := range mcast.SeededGroups(*seed, tp.Net, *groups, *groupSize) {
+			tp.Groups = append(tp.Groups, g.Members)
+		}
+	}
 
 	w := os.Stdout
 	if *out != "" {
@@ -101,8 +116,12 @@ func main() {
 		fatal("%v", err)
 	}
 	st := topology.Describe(tp)
-	fmt.Fprintf(os.Stderr, "%s: %d switches, %d terminals, %d switch-switch links\n",
+	fmt.Fprintf(os.Stderr, "%s: %d switches, %d terminals, %d switch-switch links",
 		st.Name, st.Switches, st.Terminals, st.SSLinks)
+	if len(tp.Groups) > 0 {
+		fmt.Fprintf(os.Stderr, ", %d mcast groups", len(tp.Groups))
+	}
+	fmt.Fprintln(os.Stderr)
 }
 
 func fatal(format string, args ...any) {

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mcast"
 	"repro/internal/routing"
 	"repro/internal/routing/verify"
 )
@@ -55,6 +56,7 @@ func (m *Manager) Apply(ev Event) (*EventReport, error) {
 			m.reindexDest(res.Table, d)
 		}
 	}
+	m.reindexCast(res.Cast)
 	report.Delta = routing.Diff(old.Result.Table, res.Table)
 	report.Epoch = old.Epoch + 1
 	report.Latency = time.Since(start)
@@ -167,10 +169,11 @@ func (m *Manager) retable(old *Snapshot, newNet *graph.Network, changed []graph.
 	}
 
 	if len(affected) == 0 {
-		// Topology changed but no route is impacted (e.g. failing an
-		// unused link): republish the same entries on the new network.
+		// Topology changed but no unicast route is impacted (e.g. failing
+		// an unused link): republish the same entries on the new network.
+		// Cast trees may still be hit — finishResult repairs them.
 		res := resultWith(oldRes, table)
-		if err := m.maybeVerify(newNet, res, report); err != nil {
+		if err := m.finishResult(newNet, res, oldRes.Cast, changed, report); err != nil {
 			return nil, nil, err
 		}
 		return res, nil, nil
@@ -271,7 +274,7 @@ func (m *Manager) retable(old *Snapshot, newNet *graph.Network, changed []graph.
 	}
 
 	res := resultWith(oldRes, table)
-	if err := m.maybeVerify(newNet, res, report); err != nil {
+	if err := m.finishResult(newNet, res, oldRes.Cast, changed, report); err != nil {
 		// Defense in depth: an invalid incremental transition is replaced
 		// by a verified full recompute.
 		full, ferr := m.fullRecompute(newNet, report)
@@ -283,7 +286,35 @@ func (m *Manager) retable(old *Snapshot, newNet *graph.Network, changed []graph.
 	return res, repairedList, nil
 }
 
-// fullRecompute routes the fabric from scratch and verifies if required.
+// finishResult completes a to-be-published result: the multicast trees
+// are repaired against the new routing (kept where their channels are
+// alive and their dependencies re-admit into the new union graph,
+// rebuilt otherwise, starting from the groups the changed channels
+// touch), and the combined configuration is verified / post-checked.
+// With no configured groups it reduces to maybeVerify.
+func (m *Manager) finishResult(newNet *graph.Network, res *routing.Result, oldCast *routing.CastTable, changed []graph.ChannelID, report *EventReport) error {
+	if len(m.opts.Groups) > 0 {
+		rebuild := make(map[int]bool)
+		for _, c := range changed {
+			for _, id := range m.castChans[c] {
+				rebuild[id] = true
+			}
+		}
+		cast, st, err := mcast.Rebuild(newNet, res, oldCast, m.opts.Groups, rebuild, mcast.Options{Telemetry: m.opts.McastTelemetry})
+		if err != nil {
+			return fmt.Errorf("cast repair: %w", err)
+		}
+		res.Cast = cast
+		report.CastGroups = st.Groups
+		report.CastKept = st.Kept
+		report.CastRebuilt = st.TreesBuilt
+		report.CastUBM = st.UBMMembers
+	}
+	return m.maybeVerify(newNet, res, report)
+}
+
+// fullRecompute routes the fabric (and its cast trees) from scratch and
+// verifies if required.
 func (m *Manager) fullRecompute(newNet *graph.Network, report *EventReport) (*routing.Result, error) {
 	res, err := m.routeFull(newNet)
 	if err != nil {
@@ -291,7 +322,7 @@ func (m *Manager) fullRecompute(newNet *graph.Network, report *EventReport) (*ro
 	}
 	report.FullRecompute = true
 	report.RepairedDests = report.TotalDests
-	if err := m.maybeVerify(newNet, res, report); err != nil {
+	if err := m.finishResult(newNet, res, nil, nil, report); err != nil {
 		return nil, err
 	}
 	return res, nil

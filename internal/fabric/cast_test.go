@@ -1,0 +1,193 @@
+package fabric
+
+// Tests for the multicast path through the fabric manager: every
+// published epoch must carry a cast table for the configured groups,
+// churn must repair exactly the trees it touches, and — with the oracle
+// wired as the post-check — every epoch must certify over the
+// unicast+cast union.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mcast"
+	"repro/internal/oracle"
+	"repro/internal/routing"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// castTableHealthy asserts structural sanity of a published cast table:
+// all configured groups present, no tree crossing a failed channel.
+func castTableHealthy(t *testing.T, net *graph.Network, cast *routing.CastTable, groups []mcast.Group) {
+	t.Helper()
+	if cast == nil {
+		t.Fatal("published epoch has no cast table")
+	}
+	if got := len(cast.IDs()); got != len(groups) {
+		t.Fatalf("cast table has %d groups, want %d", got, len(groups))
+	}
+	for _, g := range groups {
+		cg := cast.Group(g.ID)
+		if cg == nil {
+			t.Fatalf("group %d missing from published cast table", g.ID)
+		}
+		for _, c := range cg.Channels() {
+			if net.Channel(c).Failed {
+				t.Errorf("group %d tree uses failed channel %d", g.ID, c)
+			}
+		}
+	}
+}
+
+// TestCastSurvivesChurn drives mixed link/switch churn on a torus with
+// multicast groups configured and the oracle installed as post-check:
+// every published epoch must carry a complete cast table that avoids
+// failed channels and certifies over the combined dependency graph.
+func TestCastSurvivesChurn(t *testing.T) {
+	tp := topology.Torus3D(3, 3, 1, 1, 1)
+	groups := mcast.SeededGroups(9, tp.Net, 4, 4)
+	groups = append(groups, mcast.Group{ID: len(groups) + 1, Members: tp.Net.Terminals()})
+	reg := telemetry.New()
+	calls := 0
+	m, err := NewManager(tp, Options{
+		MaxVCs:         2,
+		Seed:           9,
+		Groups:         groups,
+		McastTelemetry: reg.Mcast(),
+		PostCheck:      oraclePost(2, &calls),
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+	snap := m.View()
+	castTableHealthy(t, snap.Net, snap.Result.Cast, groups)
+	if calls != 1 {
+		t.Fatalf("initial routing post-checked %d times, want 1", calls)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	applied := 0
+	for i := 0; i < 24; i++ {
+		var ev Event
+		var ok bool
+		if i%5 == 4 {
+			ev, ok = m.RandomSwitchEvent(rng, 0.25)
+		} else {
+			ev, ok = m.RandomEvent(rng, 0.25)
+		}
+		if !ok {
+			break
+		}
+		rep, err := m.Apply(ev)
+		if err != nil {
+			t.Fatalf("event %d (%s): %v", i, ev, err)
+		}
+		if rep.NoOp {
+			continue
+		}
+		applied++
+		if !rep.PostChecked {
+			t.Fatalf("event %d (%s) published without certification", i, ev)
+		}
+		if rep.CastGroups != len(groups) {
+			t.Fatalf("event %d (%s): report covers %d cast groups, want %d",
+				i, ev, rep.CastGroups, len(groups))
+		}
+		if rep.CastKept+rep.CastRebuilt != len(groups) {
+			t.Fatalf("event %d (%s): kept %d + rebuilt %d != %d groups",
+				i, ev, rep.CastKept, rep.CastRebuilt, len(groups))
+		}
+		snap := m.View()
+		castTableHealthy(t, snap.Net, snap.Result.Cast, groups)
+	}
+	if applied == 0 {
+		t.Fatal("churn schedule applied no events")
+	}
+
+	// The final snapshot must certify independently (not just via the
+	// hook), covering every configured group.
+	snap = m.View()
+	cert, err := oracle.Certify(snap.Net, snap.Result, oracle.Options{MaxVCs: 2})
+	if err != nil {
+		t.Fatalf("final epoch does not certify: %v", err)
+	}
+	if cert.CastGroups != len(groups) {
+		t.Errorf("final certificate covers %d groups, want %d", cert.CastGroups, len(groups))
+	}
+	if reg.Snapshot().Counters["mcast_builds_total"] == 0 {
+		t.Error("mcast telemetry recorded no builds")
+	}
+}
+
+// TestCastTargetedRepair fails a channel a cast tree is known to use:
+// the report must show that at least the victim group was rebuilt while
+// untouched trees are kept, and the lifetime metrics must accumulate
+// the split.
+func TestCastTargetedRepair(t *testing.T) {
+	tp := topology.Torus3D(4, 4, 1, 1, 1)
+	groups := mcast.SeededGroups(3, tp.Net, 5, 3)
+	calls := 0
+	m, err := NewManager(tp, Options{
+		MaxVCs:    2,
+		Seed:      3,
+		Groups:    groups,
+		PostCheck: oraclePost(2, &calls),
+	})
+	if err != nil {
+		t.Fatalf("NewManager: %v", err)
+	}
+
+	// Find a switch-to-switch channel used by some tree.
+	snap := m.View()
+	victim := graph.NoChannel
+	for _, id := range snap.Result.Cast.IDs() {
+		for _, c := range snap.Result.Cast.Group(id).Channels() {
+			ch := snap.Net.Channel(c)
+			if snap.Net.IsSwitch(ch.From) && snap.Net.IsSwitch(ch.To) {
+				victim = c
+				break
+			}
+		}
+		if victim != graph.NoChannel {
+			break
+		}
+	}
+	if victim == graph.NoChannel {
+		t.Skip("no tree crosses a switch-to-switch channel")
+	}
+
+	rep, err := m.Apply(Event{Kind: LinkFail, Link: victim})
+	if err != nil {
+		t.Fatalf("LinkFail: %v", err)
+	}
+	if rep.NoOp || !rep.PostChecked {
+		t.Fatalf("victim failure must republish a certified epoch: %+v", rep)
+	}
+	if rep.CastRebuilt == 0 {
+		t.Errorf("report shows no tree rebuilt after failing a tree channel: %+v", rep)
+	}
+	if rep.CastKept+rep.CastRebuilt != len(groups) {
+		t.Errorf("kept %d + rebuilt %d != %d groups", rep.CastKept, rep.CastRebuilt, len(groups))
+	}
+	snap = m.View()
+	castTableHealthy(t, snap.Net, snap.Result.Cast, groups)
+
+	mets := m.Metrics()
+	if mets.CastRebuilds != rep.CastRebuilt || mets.CastKept != rep.CastKept {
+		t.Errorf("metrics (kept %d, rebuilds %d) disagree with report (kept %d, rebuilt %d)",
+			mets.CastKept, mets.CastRebuilds, rep.CastKept, rep.CastRebuilt)
+	}
+
+	// Rejoining republishes another certified epoch with full coverage.
+	rep2, err := m.Apply(Event{Kind: LinkJoin, Link: victim})
+	if err != nil {
+		t.Fatalf("LinkJoin: %v", err)
+	}
+	if rep2.NoOp || rep2.CastGroups != len(groups) {
+		t.Fatalf("rejoin must repair cast coverage: %+v", rep2)
+	}
+	snap = m.View()
+	castTableHealthy(t, snap.Net, snap.Result.Cast, groups)
+}

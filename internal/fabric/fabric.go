@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/mcast"
 	"repro/internal/routing"
 	"repro/internal/routing/verify"
 	"repro/internal/telemetry"
@@ -77,6 +78,16 @@ type Options struct {
 	// queue (e.g. distrib.Source.Publish) and return quickly; it must
 	// not call back into Apply.
 	OnPublish func(*Snapshot)
+	// Groups lists the multicast groups the manager maintains: every
+	// published epoch carries a cast table for them, repaired on churn
+	// (trees untouched by an event are kept verbatim when their
+	// dependencies re-admit into the new union graph; the rest are
+	// rebuilt or fall back to UBM legs). With PostCheck wired to the
+	// oracle, each epoch is certified over the unicast+cast union.
+	Groups []mcast.Group
+	// McastTelemetry, when non-nil, receives the mcast_* counters of
+	// every cast build the manager runs.
+	McastTelemetry *telemetry.McastMetrics
 }
 
 // workers resolves Options.Workers to an effective pool size.
@@ -131,6 +142,10 @@ type Manager struct {
 	// destChans is the reverse view: the channels each destination's
 	// column currently uses.
 	destChans map[graph.NodeID][]graph.ChannelID
+	// castChans indexes, per directed channel, the cast groups whose
+	// trees traverse it — the multicast analogue of destsUsing, so a
+	// churn event maps to its affected groups in O(|changed channels|).
+	castChans map[graph.ChannelID][]int
 	metrics   Metrics
 }
 
@@ -171,6 +186,13 @@ func NewManager(tp *topology.Topology, opts Options) (*Manager, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fabric: initial routing: %w", err)
 	}
+	if len(opts.Groups) > 0 {
+		cast, _, err := mcast.Build(net, res, opts.Groups, mcast.Options{Telemetry: opts.McastTelemetry})
+		if err != nil {
+			return nil, fmt.Errorf("fabric: initial cast routing: %w", err)
+		}
+		res.Cast = cast
+	}
 	if opts.Verify {
 		if _, err := verify.Check(net, res, nil); err != nil {
 			return nil, fmt.Errorf("fabric: initial routing invalid: %w", err)
@@ -182,6 +204,7 @@ func NewManager(tp *topology.Topology, opts Options) (*Manager, error) {
 		}
 	}
 	m.rebuildIndex(res.Table)
+	m.reindexCast(res.Cast)
 	snap := &Snapshot{Epoch: 0, Net: net, Result: res}
 	m.snap.Store(snap)
 	if opts.OnPublish != nil {
@@ -253,6 +276,21 @@ func (m *Manager) indexAdd(dest graph.NodeID, c graph.ChannelID) {
 	if _, ok := set[dest]; !ok {
 		set[dest] = struct{}{}
 		m.destChans[dest] = append(m.destChans[dest], c)
+	}
+}
+
+// reindexCast recomputes the channel->groups index from a published cast
+// table. Called under mu (or before the manager is published). Nil-safe.
+func (m *Manager) reindexCast(cast *routing.CastTable) {
+	m.castChans = nil
+	if cast == nil {
+		return
+	}
+	m.castChans = make(map[graph.ChannelID][]int)
+	for _, id := range cast.IDs() {
+		for _, c := range cast.Group(id).Channels() {
+			m.castChans[c] = append(m.castChans[c], id)
+		}
 	}
 }
 

@@ -49,6 +49,11 @@ type EventReport struct {
 	// PostChecked is true when the transition passed the configured
 	// PostCheck hook (typically the independent oracle).
 	PostChecked bool
+	// CastGroups counts the multicast groups in the published epoch;
+	// CastKept the trees carried over verbatim from the previous epoch,
+	// CastRebuilt the trees grown from scratch and CastUBM the members
+	// served over unicast-leg fallback. All zero without Options.Groups.
+	CastGroups, CastKept, CastRebuilt, CastUBM int
 }
 
 func (r *EventReport) String() string {
@@ -78,6 +83,8 @@ type Metrics struct {
 	Delta routing.TableDelta
 	// RepairTime sums reconfiguration latencies.
 	RepairTime time.Duration
+	// CastKept and CastRebuilds sum per-event cast-tree outcomes.
+	CastKept, CastRebuilds int
 }
 
 // record publishes one event's outcome into the telemetry bundle.
@@ -124,6 +131,9 @@ func recordEvent(tm *telemetry.FabricMetrics, r *EventReport, err error) {
 		"layer_rebuilds": int64(r.LayerRebuilds),
 		"full_recompute": full,
 		"latency_ns":     r.Latency.Nanoseconds(),
+		"cast_groups":    int64(r.CastGroups),
+		"cast_kept":      int64(r.CastKept),
+		"cast_rebuilt":   int64(r.CastRebuilt),
 	})
 }
 
@@ -144,4 +154,6 @@ func (m *Metrics) add(r *EventReport) {
 	m.Delta.Removed += r.Delta.Removed
 	m.Delta.Same += r.Delta.Same
 	m.RepairTime += r.Latency
+	m.CastKept += r.CastKept
+	m.CastRebuilds += r.CastRebuilt
 }

@@ -14,6 +14,10 @@ type depGraph struct {
 	adj    [][]int32
 	seen   map[uint64]struct{}
 	deps   int
+	// vEdges marks dependencies of cast V-type (branch contention
+	// between two outputs of one switch); witness extraction uses it to
+	// annotate cycle edges that do not chain head to tail.
+	vEdges map[uint64]struct{}
 }
 
 func newDepGraph(channels, layers int) *depGraph {
@@ -32,14 +36,32 @@ func (g *depGraph) vertex(c graph.ChannelID, vl uint8) int32 {
 
 // add records the dependency (a@va) -> (b@vb), deduplicated.
 func (g *depGraph) add(a graph.ChannelID, va uint8, b graph.ChannelID, vb uint8) {
+	g.addTyped(a, va, b, vb, false)
+}
+
+// addTyped is add with a cast V-type marker.
+func (g *depGraph) addTyped(a graph.ChannelID, va uint8, b graph.ChannelID, vb uint8, vdep bool) {
 	u, v := g.vertex(a, va), g.vertex(b, vb)
 	key := uint64(uint32(u))<<32 | uint64(uint32(v))
+	if vdep {
+		if g.vEdges == nil {
+			g.vEdges = make(map[uint64]struct{})
+		}
+		g.vEdges[key] = struct{}{}
+	}
 	if _, ok := g.seen[key]; ok {
 		return
 	}
 	g.seen[key] = struct{}{}
 	g.adj[u] = append(g.adj[u], v)
 	g.deps++
+}
+
+// isV reports whether the edge u -> v was recorded as a V-type
+// dependency.
+func (g *depGraph) isV(u, v int32) bool {
+	_, ok := g.vEdges[uint64(uint32(u))<<32|uint64(uint32(v))]
+	return ok
 }
 
 // findCycle runs an iterative Tarjan strongly-connected-components
@@ -124,10 +146,34 @@ func (g *depGraph) findCycle() []int32 {
 			}
 		}
 		if scc != nil {
-			return g.cycleWithin(scc)
+			return canonicalCycle(g.cycleWithin(scc))
 		}
 	}
 	return nil
+}
+
+// canonicalCycle rotates a vertex cycle to start at its smallest
+// (channel, VL) vertex. The raw start vertex is an artifact of SCC
+// traversal order; canonicalizing makes two runs that find the same
+// cycle produce byte-identical witnesses, so tests can assert exact
+// witnesses.
+func canonicalCycle(cycle []int32) []int32 {
+	if len(cycle) == 0 {
+		return cycle
+	}
+	min := 0
+	for i, v := range cycle {
+		if v < cycle[min] {
+			min = i
+		}
+	}
+	if min == 0 {
+		return cycle
+	}
+	out := make([]int32, 0, len(cycle))
+	out = append(out, cycle[min:]...)
+	out = append(out, cycle[:min]...)
+	return out
 }
 
 // cycleWithin extracts a concrete cycle from a strongly connected
@@ -163,7 +209,8 @@ func (g *depGraph) cycleWithin(comp []int32) []int32 {
 	}
 }
 
-// witness converts a vertex cycle into channel-level form.
+// witness converts a vertex cycle into channel-level form, marking the
+// edges that are cast V-type dependencies.
 func (g *depGraph) witness(net *graph.Network, cycle []int32) []Dep {
 	out := make([]Dep, len(cycle))
 	for i, v := range cycle {
@@ -174,6 +221,7 @@ func (g *depGraph) witness(net *graph.Network, cycle []int32) []Dep {
 			From:    ch.From,
 			To:      ch.To,
 			VL:      uint8(int(v) % g.layers),
+			V:       g.isV(v, cycle[(i+1)%len(cycle)]),
 		}
 	}
 	return out

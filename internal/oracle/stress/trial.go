@@ -43,6 +43,14 @@ type Config struct {
 	// manager through that many random events with the oracle installed
 	// as the post-check hook.
 	Churn int
+	// McastGroups, when positive, additionally routes that many seeded
+	// random multicast groups (McastSize members each) as cast trees
+	// inside Nue's CDG, certifies the unicast+cast union, and requires
+	// the oracle to refute a deliberately-cyclic cast table built from
+	// rotated path-trees over a switch cycle of the same topology.
+	McastGroups int
+	// McastSize is the members per group (0 defaults to 4).
+	McastSize int
 	// Workers bounds Nue's and the fabric manager's parallelism
 	// (0 = GOMAXPROCS); the routing is identical for every value.
 	Workers int
@@ -64,6 +72,12 @@ func (cfg Config) Replay() string {
 	}
 	if cfg.Churn != 0 {
 		fmt.Fprintf(&b, " -churn %d", cfg.Churn)
+	}
+	if cfg.McastGroups != 0 {
+		fmt.Fprintf(&b, " -mcast-groups %d", cfg.McastGroups)
+		if cfg.McastSize != 0 {
+			fmt.Fprintf(&b, " -mcast-size %d", cfg.McastSize)
+		}
 	}
 	return b.String()
 }
@@ -95,6 +109,7 @@ type Trial struct {
 	VCs      int
 	Outcomes []Outcome
 	Churn    *ChurnReport
+	Mcast    *McastReport
 	// Failures are the hard violations: a claiming engine refuted, an
 	// oracle/verify verdict disagreement, an invalid witness, a Nue
 	// routing error, or a churn step rejected. Each line ends with the
@@ -178,6 +193,9 @@ func Run(cfg Config) *Trial {
 	}
 	if cfg.Churn > 0 {
 		tr.Churn = tr.runChurn(tp, vcs, rng)
+	}
+	if cfg.McastGroups > 0 {
+		tr.Mcast = tr.runMcast(tp, vcs)
 	}
 	return tr
 }

@@ -1,0 +1,97 @@
+package routing
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestCastGroupOutOrder(t *testing.T) {
+	g := &CastGroup{ID: 1}
+	sw := graph.NodeID(3)
+	for _, c := range []graph.ChannelID{9, 2, 5, 2, 7} { // one duplicate
+		g.AddOut(sw, c)
+	}
+	want := []graph.ChannelID{2, 5, 7, 9}
+	if got := g.Outs(sw); !reflect.DeepEqual(got, want) {
+		t.Errorf("Outs = %v, want %v (ascending, deduplicated)", got, want)
+	}
+	if g.TreeEdges() != 4 {
+		t.Errorf("TreeEdges = %d, want 4", g.TreeEdges())
+	}
+	g.RemoveOut(sw, 5)
+	want = []graph.ChannelID{2, 7, 9}
+	if got := g.Outs(sw); !reflect.DeepEqual(got, want) {
+		t.Errorf("after RemoveOut: Outs = %v, want %v", got, want)
+	}
+	g.RemoveOut(sw, 42) // absent: no-op
+	if g.TreeEdges() != 3 {
+		t.Errorf("TreeEdges after removals = %d, want 3", g.TreeEdges())
+	}
+}
+
+func TestCastGroupSwitchesAndChannels(t *testing.T) {
+	g := &CastGroup{ID: 1}
+	g.AddOut(7, 14)
+	g.AddOut(2, 4)
+	g.AddOut(7, 3)
+	if got, want := g.Switches(), []graph.NodeID{2, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Switches = %v, want %v", got, want)
+	}
+	if got, want := g.Channels(), []graph.ChannelID{3, 4, 14}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Channels = %v, want %v", got, want)
+	}
+}
+
+func TestCastGroupClone(t *testing.T) {
+	g := &CastGroup{ID: 2, Source: 1,
+		Members:   []graph.NodeID{1, 5},
+		Receivers: []graph.NodeID{5},
+	}
+	g.AddOut(0, 3)
+	c := g.Clone()
+	c.AddOut(0, 8)
+	c.Receivers[0] = 99
+	if len(g.Outs(0)) != 1 || g.Receivers[0] != 5 {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestCastTable(t *testing.T) {
+	tb := NewCastTable()
+	tb.Add(&CastGroup{ID: 3})
+	tb.Add(&CastGroup{ID: 1})
+	tb.Add(&CastGroup{ID: 2})
+	if got, want := tb.IDs(), []int{1, 2, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("IDs = %v, want %v", got, want)
+	}
+	if tb.NumGroups() != 3 {
+		t.Errorf("NumGroups = %d, want 3", tb.NumGroups())
+	}
+	if tb.Group(2) == nil || tb.Group(2).ID != 2 {
+		t.Error("Group(2) lookup failed")
+	}
+	if tb.Group(9) != nil {
+		t.Error("Group(9) returned a phantom group")
+	}
+	// Replacement keeps the id list duplicate-free.
+	tb.Add(&CastGroup{ID: 2, Source: 7})
+	if tb.NumGroups() != 3 || tb.Group(2).Source != 7 {
+		t.Error("re-Add did not replace the group in place")
+	}
+	c := tb.Clone()
+	c.Group(1).AddOut(0, 1)
+	if tb.Group(1).TreeEdges() != 0 {
+		t.Error("table Clone shares groups with the original")
+	}
+}
+
+func TestCastTableAddPanicsOnBadID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add accepted group id 0 (ids are 1-based)")
+		}
+	}()
+	NewCastTable().Add(&CastGroup{ID: 0})
+}

@@ -156,6 +156,11 @@ type Result struct {
 	// this; such routings are inapplicable to InfiniBand but valid for
 	// source-routed technologies. Key via PairKey.
 	PairPath map[uint64][]graph.ChannelID
+	// Cast, if non-nil, holds the routed multicast groups of this epoch.
+	// Certification (internal/oracle) covers the union of the unicast
+	// dependencies and the cast-tree dependencies (including V-type
+	// branch-contention edges) when Cast is present.
+	Cast *CastTable
 	// Stats carries engine-specific counters (escape fallbacks, cycle
 	// searches, ...).
 	Stats map[string]float64

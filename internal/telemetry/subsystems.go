@@ -182,6 +182,50 @@ func (r *Registry) Distrib() *DistribMetrics {
 	}
 }
 
+// McastMetrics instruments the multicast subsystem (internal/mcast):
+// cast-tree construction inside the complete CDG and the UBM fallback.
+type McastMetrics struct {
+	// Builds counts tree-construction passes; GroupsRouted the groups
+	// routed across them (a rebuild counts its groups again).
+	Builds, GroupsRouted *Counter
+	// TreeEdges counts committed cast out-channels (branches plus
+	// ejections); TDeps and VDeps the committed tree and
+	// branch-contention dependencies.
+	TreeEdges, TDeps, VDeps *Counter
+	// DepsBlocked counts dependency admissions the union cycle check
+	// refused; Retries member attachment attempts restarted after a
+	// blocked dependency.
+	DepsBlocked, Retries *Counter
+	// UBMMembers counts members served by serialized unicast legs;
+	// UnroutedMembers members unreachable by any path.
+	UBMMembers, UnroutedMembers *Counter
+	// BuildNanos is the per-build wall-time distribution.
+	BuildNanos *Histogram
+	// Events receives one "mcast_build" entry per construction pass.
+	Events *Ring
+}
+
+// Mcast returns the multicast bundle registered under mcast_* names
+// (nil, all-no-op, on a nil registry).
+func (r *Registry) Mcast() *McastMetrics {
+	if r == nil {
+		return nil
+	}
+	return &McastMetrics{
+		Builds:          r.Counter("mcast_builds_total"),
+		GroupsRouted:    r.Counter("mcast_groups_routed_total"),
+		TreeEdges:       r.Counter("mcast_tree_edges_total"),
+		TDeps:           r.Counter("mcast_tdeps_total"),
+		VDeps:           r.Counter("mcast_vdeps_total"),
+		DepsBlocked:     r.Counter("mcast_deps_blocked_total"),
+		Retries:         r.Counter("mcast_attach_retries_total"),
+		UBMMembers:      r.Counter("mcast_ubm_members_total"),
+		UnroutedMembers: r.Counter("mcast_unrouted_members_total"),
+		BuildNanos:      r.Histogram("mcast_build_nanos"),
+		Events:          r.Ring(),
+	}
+}
+
 // MaxTrackedVCs bounds the per-VC gauge vector of the simulator bundle;
 // virtual lanes beyond it fold into the last gauge.
 const MaxTrackedVCs = 16
@@ -199,6 +243,11 @@ type SimMetrics struct {
 	// is the invariant the consistency tests pin).
 	FlitsInjected, FlitsDelivered *Counter
 	FlitsInFlight                 *Gauge
+	// FlitsReplicated counts the extra flit copies created at cast-tree
+	// branch switches (a k-way replication of an f-flit packet adds
+	// (k-1)*f); the multicast conservation invariant is injected +
+	// replicated == delivered + in-flight.
+	FlitsReplicated *Counter
 	// MessagesDelivered counts fully delivered messages.
 	MessagesDelivered *Counter
 	// StallCycles accumulates cycles in-network packets spent waiting
@@ -228,6 +277,7 @@ func (r *Registry) Sim() *SimMetrics {
 		Timeouts:          r.Counter("sim_timeouts_total"),
 		FlitsInjected:     r.Counter("sim_flits_injected_total"),
 		FlitsDelivered:    r.Counter("sim_flits_delivered_total"),
+		FlitsReplicated:   r.Counter("sim_flits_replicated_total"),
 		FlitsInFlight:     r.Gauge("sim_flits_in_flight"),
 		MessagesDelivered: r.Counter("sim_messages_delivered_total"),
 		StallCycles:       r.Counter("sim_stall_cycles_total"),

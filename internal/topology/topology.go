@@ -23,6 +23,10 @@ type Topology struct {
 	// Tree is non-nil for fat-tree-like networks; required by the
 	// fat-tree router.
 	Tree *TreeMeta
+	// Groups lists multicast group memberships (terminal IDs) carried
+	// with the topology; group IDs are the 1-based slice positions.
+	// Empty for topologies without a multicast workload.
+	Groups [][]graph.NodeID
 }
 
 // TorusMeta describes switch placement on a 3D torus or mesh grid.
