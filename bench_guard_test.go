@@ -152,6 +152,45 @@ func TestBenchGuardMcast(t *testing.T) {
 	}
 }
 
+// TestBenchGuardFrontier: the pr7 recording (existence frontier) must
+// keep every benchmark shared with pr6 within 5% — adding the decision
+// procedure and the specialist engines must not tax the routing,
+// distribution or multicast hot paths — and must record BenchmarkDecide.
+// Within the recording, deciding single-lane existence must run
+// strictly faster than the routing pass it adjudicates: the procedure
+// answers "can any engine route this?" without ever building a table.
+func TestBenchGuardFrontier(t *testing.T) {
+	prev := loadBaseline(t, "BENCH_pr6.json")
+	cur := loadBaseline(t, "BENCH_pr7.json")
+	const tolerance = 1.05
+	checked := 0
+	for name, was := range prev {
+		now, ok := cur[name]
+		if !ok {
+			continue
+		}
+		checked++
+		if float64(now) > float64(was)*tolerance {
+			t.Errorf("%s regressed: %d ns/op vs %d ns/op (>%.0f%%)",
+				name, now, was, (tolerance-1)*100)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("pr6 and pr7 baselines share no benchmark names; guard checked nothing")
+	}
+	decide, okD := cur["BenchmarkDecide"]
+	if !okD {
+		t.Fatal("BENCH_pr7.json is missing BenchmarkDecide")
+	}
+	route, okR := cur["BenchmarkRouteParallel/workers=1"]
+	if !okR {
+		t.Fatal("BENCH_pr7.json is missing BenchmarkRouteParallel/workers=1")
+	}
+	if decide >= route {
+		t.Errorf("existence decision (%d ns/op) not faster than the routing pass it adjudicates (%d ns/op)", decide, route)
+	}
+}
+
 // TestBenchGuardTelemetryOverhead: within the pr3 recording, the
 // telemetry-on sweep must stay within 5% of the telemetry-off sweep —
 // the recorded form of the zero-overhead-when-off design contract

@@ -8,6 +8,7 @@
 //	nuebench -exp fig11 -maxdim 10     # routing runtime scaling
 //	nuebench -exp table1               # topology configuration table
 //	nuebench -exp mcast -mcast-groups 8 -mcast-size 6  # cast-tree routing + replication sim
+//	nuebench -exp frontier             # specialist low-VC engines vs Nue + existence verdicts
 //	nuebench -exp all                  # everything, default scales
 //
 // Default scales are laptop-sized; the flags restore the paper's full
@@ -27,7 +28,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, mcast, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, mcast, frontier, all")
 		trials   = flag.Int("trials", 5, "fig9: number of random topologies (paper: 1000)")
 		phases   = flag.Int("phases", 16, "fig10: all-to-all shift phases (0 = full, the paper's workload)")
 		maxDim   = flag.Int("maxdim", 6, "fig11: largest torus dimension (paper: 10)")
@@ -123,6 +124,14 @@ func main() {
 				cfg.MaxVCs = *maxVCs
 			}
 			experiments.WriteMcast(w, cfg)
+		case "frontier":
+			cfg := experiments.DefaultFrontierConfig()
+			cfg.Seed = *seed
+			cfg.Workers = *workers
+			if err := experiments.WriteFrontier(w, cfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
 		case "fig11":
 			cfg := experiments.DefaultFig11Config()
 			cfg.MaxDim = *maxDim

@@ -32,12 +32,12 @@ import (
 func main() {
 	var (
 		topo      = flag.String("topo", "", "topology file (from topogen)")
-		gen       = flag.String("gen", "", "generate instead: torus, random, fattree, kautz, dragonfly, cascade, tsubame, ring")
+		gen       = flag.String("gen", "", "generate instead: torus, mesh, random, fattree, kautz, dragonfly, cascade, tsubame, ring, fullmesh, dfgroup")
 		dims      = flag.String("dims", "4x4x3", "torus dimensions for -gen torus")
 		switches  = flag.Int("switches", 32, "switch count for -gen random/ring")
 		links     = flag.Int("links", 96, "link count for -gen random")
 		terminals = flag.Int("terminals", 2, "terminals per switch for -gen")
-		algo      = flag.String("algo", "nue", "routing engine: nue, updn, lash, dfsssp, ftree, torus2qos, dor, minhop, sssp")
+		algo      = flag.String("algo", "nue", "routing engine: nue, updn, lash, dfsssp, ftree, torus2qos, dor, angara, fullmesh, exists, minhop, sssp")
 		vcs       = flag.Int("vcs", 4, "virtual channel budget")
 		seed      = flag.Int64("seed", 1, "random seed")
 		tables    = flag.Bool("tables", false, "dump the forwarding tables")
@@ -77,10 +77,16 @@ func main() {
 		fmt.Printf("stat:     %s = %g\n", k, v)
 	}
 	if *gamma {
-		g := metrics.EdgeForwardingIndex(tp.Net, res, nil)
-		fmt.Printf("gamma:    min %d / avg %.1f ± %.1f / max %d\n", g.Min, g.Avg, g.SD, g.Max)
-		pl := metrics.PathLengths(tp.Net, res, nil)
-		fmt.Printf("paths:    avg %.2f hops, max %d hops\n", pl.Avg, pl.Max)
+		if len(res.PairPath) > 0 {
+			// Explicit per-pair witness paths (the exists engine) have no
+			// destination table for the table-walking metrics to traverse.
+			fmt.Printf("gamma:    n/a (explicit per-pair paths; see verified line for hop bound)\n")
+		} else {
+			g := metrics.EdgeForwardingIndex(tp.Net, res, nil)
+			fmt.Printf("gamma:    min %d / avg %.1f ± %.1f / max %d\n", g.Min, g.Avg, g.SD, g.Max)
+			pl := metrics.PathLengths(tp.Net, res, nil)
+			fmt.Printf("paths:    avg %.2f hops, max %d hops\n", pl.Avg, pl.Max)
+		}
 	}
 	if *tables {
 		dumpTables(tp, res)
@@ -124,6 +130,10 @@ func load(topoFile, gen, dims string, switches, links, terminals int, seed int64
 			return topology.TsubameLike(), nil
 		case "ring":
 			return topology.Ring(switches, terminals), nil
+		case "fullmesh":
+			return topology.FullMesh(switches, terminals), nil
+		case "dfgroup":
+			return topology.DragonflyGroup(switches, terminals), nil
 		default:
 			return nil, fmt.Errorf("unknown generator %q", gen)
 		}

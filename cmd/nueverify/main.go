@@ -1,17 +1,30 @@
 // Command nueverify is the randomized stress and differential-testing
 // front end of the independent routing oracle (internal/oracle). Each
 // trial generates a seeded random topology, routes it with every
-// applicable engine (Nue, Up*/Down*, LASH, DFSSSP, MinHop, and ftree /
-// DOR / torus2qos where metadata allows), certifies every routing from
-// first principles, and cross-checks the oracle's verdict against the
-// in-tree verifier. Engines that claim deadlock freedom and are refuted
-// are hard failures; refuting the negative baselines (plain DOR on a
-// ring, MinHop) is the expected outcome that proves the oracle has
-// teeth — a vacuity control enforces it before any trial runs.
+// applicable engine (Nue, Up*/Down*, LASH, DFSSSP, MinHop, the exists
+// witness engine, and ftree / DOR / torus2qos / angara / fullmesh where
+// metadata allows), certifies every routing from first principles, and
+// cross-checks the oracle's verdict against the in-tree verifier.
+// Engines that claim deadlock freedom and are refuted are hard
+// failures; refuting the negative baselines (plain DOR on a ring,
+// MinHop) is the expected outcome that proves the oracle has teeth — a
+// vacuity control enforces it before any trial runs.
+//
+// With -decide every trial additionally runs the existence decision
+// procedure (the Mendlovic–Matias condition: a deadlock-free routing
+// exists iff some linear channel order serves every pair increasingly)
+// and classifies the trial: "routed" when engines and procedure agree a
+// routing exists, "engine-bug" (hard failure) when the topology is
+// provably routable yet no engine certified, "unroutable" when no
+// single-lane routing exists at a one-lane budget. Routable verdicts
+// carry an oracle-certified witness routing; refutations carry a
+// validated forced-dependency trap. No refutation is ever left
+// unclassified.
 //
 // Usage:
 //
 //	nueverify -trials 100                       # differential sweep, all classes
+//	nueverify -trials 100 -decide               # + existence frontier adjudication
 //	nueverify -trials 20 -topo torus -churn 25  # + fabric churn under the oracle
 //	nueverify -trials 20 -mcast-groups 6        # + cast trees certified over the union,
 //	                                            #   with a cyclic-table negative control
@@ -37,9 +50,10 @@ func main() {
 	var (
 		trials   = flag.Int("trials", 20, "number of seeded trials")
 		seed     = flag.Int64("seed", 1, "first seed; trial i uses seed+i")
-		topo     = flag.String("topo", "", "fix the topology class: random, regular, torus, fattree, kautz, ring (empty = rotate)")
-		engine   = flag.String("engine", "", "restrict to one engine: nue, updn, lash, dfsssp, minhop, ftree, dor, torus2qos (empty = all)")
+		topo     = flag.String("topo", "", "fix the topology class: random, regular, torus, fattree, kautz, ring, fullmesh, dfgroup, oneway (empty = rotate)")
+		engine   = flag.String("engine", "", "restrict to one engine: nue, updn, lash, dfsssp, minhop, exists, ftree, dor, torus2qos, angara, fullmesh (empty = all)")
 		vcs      = flag.Int("vcs", 0, "fix the virtual-channel budget (0 = draw per seed)")
+		decide   = flag.Bool("decide", false, "run the existence decision procedure per trial and classify refutations as ENGINE-BUG vs GENUINELY-UNROUTABLE")
 		churn    = flag.Int("churn", 0, "additionally drive the fabric manager through this many random events per trial")
 		mcGroups = flag.Int("mcast-groups", 0, "additionally route this many seeded multicast groups per trial and adjudicate the cast union (plus a cyclic-table negative control)")
 		mcSize   = flag.Int("mcast-size", 0, "members per multicast group (0 = 4)")
@@ -53,6 +67,10 @@ func main() {
 	}
 	if *topo != "" && !validClass(stress.Class(*topo)) {
 		fmt.Fprintf(os.Stderr, "unknown -topo %q (valid: %v)\n", *topo, stress.Classes())
+		os.Exit(2)
+	}
+	if *engine != "" && !validEngine(*engine) {
+		fmt.Fprintf(os.Stderr, "unknown -engine %q (valid: %v)\n", *engine, stress.EngineNames())
 		os.Exit(2)
 	}
 
@@ -69,12 +87,14 @@ func main() {
 
 	var failures []string
 	certified, refuted, trialsRun := 0, 0, 0
+	decisions := map[string]int{}
 	for i := 0; i < *trials; i++ {
 		cfg := stress.Config{
 			Seed:        *seed + int64(i),
 			Class:       stress.Class(*topo),
 			VCs:         *vcs,
 			Engine:      *engine,
+			Decide:      *decide,
 			Churn:       *churn,
 			McastGroups: *mcGroups,
 			McastSize:   *mcSize,
@@ -84,6 +104,9 @@ func main() {
 		trialsRun++
 		printTrial(tr, *verbose)
 		failures = append(failures, tr.Failures...)
+		if tr.Decide != nil {
+			decisions[tr.Decide.Classification]++
+		}
 		for _, o := range tr.Outcomes {
 			switch {
 			case o.Certified():
@@ -105,6 +128,11 @@ func main() {
 
 	fmt.Printf("\n%d trials: %d routings certified, %d refuted, %d hard failures\n",
 		trialsRun, certified, refuted, len(failures))
+	if *decide {
+		fmt.Printf("existence frontier: %d routed, %d engine-bug, %d unroutable, %d other\n",
+			decisions["routed"], decisions["engine-bug"], decisions["unroutable"],
+			trialsRun-decisions["routed"]-decisions["engine-bug"]-decisions["unroutable"])
+	}
 	if len(failures) > 0 {
 		fmt.Println("\nFAILURES:")
 		for _, f := range failures {
@@ -161,6 +189,9 @@ func printTrial(tr *stress.Trial, verbose bool) {
 			fmt.Printf(" %s:refuted", o.Engine)
 		}
 	}
+	if tr.Decide != nil {
+		fmt.Printf(" decide:%s", tr.Decide.Classification)
+	}
 	if tr.Churn != nil {
 		fmt.Printf(" churn:%d/%d", tr.Churn.Certified, tr.Churn.Events)
 	}
@@ -195,6 +226,15 @@ func printTrial(tr *stress.Trial, verbose bool) {
 func validClass(c stress.Class) bool {
 	for _, k := range stress.Classes() {
 		if k == c {
+			return true
+		}
+	}
+	return false
+}
+
+func validEngine(name string) bool {
+	for _, k := range stress.EngineNames() {
+		if k == name {
 			return true
 		}
 	}

@@ -16,10 +16,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/oracle"
 	"repro/internal/routing"
+	"repro/internal/routing/angara"
 	"repro/internal/routing/dfsssp"
 	"repro/internal/routing/dor"
 	"repro/internal/routing/ftree"
+	"repro/internal/routing/fullmesh"
 	"repro/internal/routing/lash"
 	"repro/internal/routing/minhop"
 	"repro/internal/routing/smart"
@@ -74,7 +77,7 @@ func Baselines(tp *topology.Topology) []routing.Engine {
 
 // EngineByName resolves an engine name, using topology metadata where
 // required. Valid names: nue, updn, lash, dfsssp, ftree, torus2qos, dor,
-// minhop, sssp.
+// angara, fullmesh, exists, minhop, sssp.
 func EngineByName(name string, tp *topology.Topology, seed int64) (routing.Engine, error) {
 	return EngineByNameWorkers(name, tp, seed, 0)
 }
@@ -116,6 +119,18 @@ func EngineByNameWorkers(name string, tp *topology.Topology, seed int64, workers
 			return nil, fmt.Errorf("dor requires a torus topology")
 		}
 		return dor.Engine{Meta: tp.Torus}, nil
+	case "angara":
+		if tp.Torus == nil {
+			return nil, fmt.Errorf("angara requires a torus or mesh topology")
+		}
+		return angara.Engine{Meta: tp.Torus}, nil
+	case "fullmesh":
+		if tp.Mesh == nil {
+			return nil, fmt.Errorf("fullmesh requires a full-mesh fabric")
+		}
+		return fullmesh.Engine{Meta: tp.Mesh}, nil
+	case "exists":
+		return oracle.ExistsEngine{}, nil
 	default:
 		return nil, fmt.Errorf("unknown routing engine %q", name)
 	}

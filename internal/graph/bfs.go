@@ -39,6 +39,39 @@ func BFS(g *Network, src NodeID) *BFSResult {
 	return res
 }
 
+// ReverseBFS runs a breadth-first search from src over REVERSED
+// non-failed channels: Dist[n] is the hop distance from n TO src, and
+// Parent[n] is the channel (n, child(n)) taken on a shortest n -> src
+// path. On duplex networks it reaches the same component as BFS; the
+// distinction matters once one-way faults (SetHalfFailed) break link
+// symmetry.
+func ReverseBFS(g *Network, src NodeID) *BFSResult {
+	n := g.NumNodes()
+	res := &BFSResult{
+		Dist:   make([]int32, n),
+		Parent: make([]ChannelID, n),
+		Order:  make([]NodeID, 0, n),
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+		res.Parent[i] = NoChannel
+	}
+	res.Dist[src] = 0
+	res.Order = append(res.Order, src)
+	for head := 0; head < len(res.Order); head++ {
+		u := res.Order[head]
+		for _, c := range g.In(u) {
+			v := g.Channel(c).From
+			if res.Dist[v] < 0 {
+				res.Dist[v] = res.Dist[u] + 1
+				res.Parent[v] = c
+				res.Order = append(res.Order, v)
+			}
+		}
+	}
+	return res
+}
+
 // Connected reports whether all nodes that have at least one channel are
 // mutually reachable. Isolated stubs (e.g. a failed switch with all
 // channels removed) are ignored.

@@ -358,6 +358,57 @@ func (g *Network) SetChannelFailed(c ChannelID, failed bool) bool {
 	return true
 }
 
+// SetHalfFailed marks the single directed channel c failed (or restores
+// it) WITHOUT touching its reverse half — the one-way fault model used
+// by the existence decision procedure's pathological fixtures (directed
+// rings, figure-eights) and the stress generator's "oneway" class. Like
+// SetChannelFailed it updates adjacency incrementally and reports
+// whether the state changed. The receiver must be a private copy (see
+// Clone). Networks with half-failed links are asymmetric: callers that
+// assume duplex reachability (see Symmetric) must not be handed one.
+func (g *Network) SetHalfFailed(c ChannelID, failed bool) bool {
+	if g.channels[c].Failed == failed {
+		return false
+	}
+	ch := &g.channels[c]
+	ch.Failed = failed
+	if failed {
+		g.out[ch.From] = removeID(g.out[ch.From], c)
+		g.in[ch.To] = removeID(g.in[ch.To], c)
+	} else {
+		g.out[ch.From] = insertSorted(g.out[ch.From], c, func(a, b ChannelID) bool {
+			ca, cb := g.channels[a], g.channels[b]
+			if ca.To != cb.To {
+				return ca.To < cb.To
+			}
+			return ca.ID < cb.ID
+		})
+		g.in[ch.To] = insertSorted(g.in[ch.To], c, func(a, b ChannelID) bool {
+			ca, cb := g.channels[a], g.channels[b]
+			if ca.From != cb.From {
+				return ca.From < cb.From
+			}
+			return ca.ID < cb.ID
+		})
+	}
+	return true
+}
+
+// Symmetric reports whether every live channel's reverse half is also
+// live — i.e. the network is still a duplex (undirected-equivalent)
+// graph. Networks degraded with SetHalfFailed are asymmetric; engines
+// and subsystems built on the duplex assumption (Nue, the fabric
+// manager) are not applicable to them.
+func (g *Network) Symmetric() bool {
+	for i := range g.channels {
+		c := &g.channels[i]
+		if !c.Failed && g.channels[c.Reverse].Failed {
+			return false
+		}
+	}
+	return true
+}
+
 // removeID deletes id from the slice preserving order.
 func removeID(s []ChannelID, id ChannelID) []ChannelID {
 	for i, v := range s {

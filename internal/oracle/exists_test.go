@@ -1,0 +1,238 @@
+package oracle
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// directedRing returns a ring whose switch-to-switch links are alive in
+// the forward direction only (reverse halves one-way failed): the
+// canonical genuinely-unroutable instance at one lane.
+func directedRing(t testing.TB, n, terms int) *topology.Topology {
+	t.Helper()
+	tp := topology.Ring(n, terms)
+	net := tp.Net
+	for c := 0; c < net.NumChannels(); c += 2 {
+		fwd := net.Channel(graph.ChannelID(c))
+		if net.IsSwitch(fwd.From) && net.IsSwitch(fwd.To) {
+			if !net.SetHalfFailed(fwd.Reverse, true) {
+				t.Fatalf("reverse of channel %d already failed", c)
+			}
+		}
+	}
+	if net.Symmetric() {
+		t.Fatal("directedRing: network still symmetric")
+	}
+	return tp
+}
+
+// certifyWitness runs the decision's witness through the oracle at a
+// one-lane budget.
+func certifyWitness(t *testing.T, tp *topology.Topology, dec *Decision) {
+	t.Helper()
+	if dec.Witness == nil {
+		t.Fatal("routable decision without witness")
+	}
+	if _, err := Certify(tp.Net, dec.Witness, Options{MaxVCs: 1}); err != nil {
+		t.Fatalf("witness failed certification: %v", err)
+	}
+}
+
+func TestDecideSymmetricFamilies(t *testing.T) {
+	cases := []struct {
+		name string
+		tp   *topology.Topology
+	}{
+		{"ring", topology.Ring(6, 2)},
+		{"torus", topology.Torus3D(3, 3, 2, 1, 1)},
+		{"mesh", topology.Mesh3D(3, 3, 1, 1, 1)},
+		{"fullmesh", topology.FullMesh(5, 2)},
+		{"dfgroup", topology.DragonflyGroup(4, 2)},
+		{"fattree", topology.KAryNTree(2, 3, 2)},
+		{"kautz", topology.Kautz(2, 3, 1, 1)},
+		{"shortcut", topology.RingWithShortcut()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dec, err := Decide(tc.tp.Net, ExistsOptions{})
+			if err != nil {
+				t.Fatalf("Decide: %v", err)
+			}
+			if !dec.Routable {
+				t.Fatalf("symmetric topology %s declared unroutable", tc.name)
+			}
+			if len(dec.Order) == 0 && dec.Pairs > 0 {
+				t.Fatal("routable decision without a channel order")
+			}
+			certifyWitness(t, tc.tp, dec)
+		})
+	}
+}
+
+func TestDecideDirectedRingUnroutable(t *testing.T) {
+	tp := directedRing(t, 6, 1)
+	dec, err := Decide(tp.Net, ExistsOptions{})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Routable {
+		t.Fatal("directed ring declared routable at one lane")
+	}
+	if dec.Trap == nil {
+		t.Fatal("unroutable verdict without a forced-dependency trap")
+	}
+	if err := ValidateTrap(tp.Net, dec.Trap); err != nil {
+		t.Fatalf("trap failed validation: %v", err)
+	}
+	// The trap must be a genuine cycle over the ring's forward channels.
+	if len(dec.Trap) < 3 {
+		t.Fatalf("trap cycle has %d entries, want >= 3", len(dec.Trap))
+	}
+	// The engine adapter must refuse rather than emit a table.
+	if _, err := (ExistsEngine{}).Route(tp.Net, nil, 1); err == nil {
+		t.Fatal("ExistsEngine routed an unroutable network")
+	}
+}
+
+func TestValidateTrapRejectsForgeries(t *testing.T) {
+	tp := directedRing(t, 6, 1)
+	dec, err := Decide(tp.Net, ExistsOptions{})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if dec.Routable || len(dec.Trap) == 0 {
+		t.Fatal("expected a trap")
+	}
+	broken := append([]Forced(nil), dec.Trap...)
+	broken[0].From, broken[0].To = broken[0].To, broken[0].From
+	if err := ValidateTrap(tp.Net, broken); err == nil {
+		t.Fatal("ValidateTrap accepted a scrambled trap")
+	}
+	// A symmetric ring forces nothing: the same trap must not validate
+	// against the pristine network.
+	pristine := topology.Ring(6, 1)
+	if err := ValidateTrap(pristine.Net, dec.Trap); err == nil {
+		t.Fatal("ValidateTrap accepted a trap against a routable network")
+	}
+	if err := ValidateTrap(tp.Net, nil); err == nil {
+		t.Fatal("ValidateTrap accepted an empty trap")
+	}
+}
+
+func TestDecideOneWayPartial(t *testing.T) {
+	// Half-fail every non-spanning-tree link of a full mesh: asymmetric,
+	// but the intact duplex tree keeps it provably routable.
+	tp := topology.FullMesh(6, 2)
+	net := tp.Net
+	tree := graph.SpanningTree(net, net.Switches()[0])
+	for c := 0; c < net.NumChannels(); c += 2 {
+		fwd := net.Channel(graph.ChannelID(c))
+		if !net.IsSwitch(fwd.From) || !net.IsSwitch(fwd.To) {
+			continue
+		}
+		if !tree.IsTreeChannel(graph.ChannelID(c)) {
+			net.SetHalfFailed(graph.ChannelID(c), true)
+		}
+	}
+	if net.Symmetric() {
+		t.Fatal("expected an asymmetric network")
+	}
+	dec, err := Decide(net, ExistsOptions{})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if !dec.Routable {
+		t.Fatal("tree-intact one-way network declared unroutable")
+	}
+	certifyWitness(t, tp, dec)
+}
+
+func TestDecideTournament(t *testing.T) {
+	// Strongly connected 4-switch tournament: 4-cycle 0->1->2->3->0 with
+	// chords 0->2 and 1->3. No duplex link anywhere, no forced cycle —
+	// the exhaustive search must settle it, and it IS routable (e.g. the
+	// order 1->3 < 0->2 < 2->3 < 3->0 < 0->1 < 1->2 serves all pairs).
+	b := graph.NewBuilder()
+	sw := make([]graph.NodeID, 4)
+	for i := range sw {
+		sw[i] = b.AddSwitch("t")
+	}
+	pairs := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}, {1, 3}}
+	fwds := make([]graph.ChannelID, len(pairs))
+	for i, p := range pairs {
+		fwds[i] = b.AddLink(sw[p[0]], sw[p[1]])
+	}
+	for i := range sw {
+		tm := b.AddTerminal("h")
+		b.AddLink(tm, sw[i])
+	}
+	net := b.MustBuild()
+	for _, c := range fwds {
+		net.SetHalfFailed(net.Channel(c).Reverse, true)
+	}
+	dec, err := Decide(net, ExistsOptions{})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if !dec.Exhaustive {
+		t.Fatal("tournament should require the exhaustive search")
+	}
+	if !dec.Routable {
+		t.Fatal("routable tournament declared unroutable")
+	}
+	if _, err := Certify(net, dec.Witness, Options{MaxVCs: 1}); err != nil {
+		t.Fatalf("witness failed certification: %v", err)
+	}
+}
+
+func TestDecideTrivialSameSwitchPairs(t *testing.T) {
+	b := graph.NewBuilder()
+	s := b.AddSwitch("s")
+	t1 := b.AddTerminal("a")
+	t2 := b.AddTerminal("b")
+	b.AddLink(t1, s)
+	b.AddLink(t2, s)
+	net := b.MustBuild()
+	dec, err := Decide(net, ExistsOptions{})
+	if err != nil {
+		t.Fatalf("Decide: %v", err)
+	}
+	if !dec.Routable || dec.Pairs != 0 {
+		t.Fatalf("single-switch network: routable=%v pairs=%d", dec.Routable, dec.Pairs)
+	}
+	if _, err := Certify(net, dec.Witness, Options{MaxVCs: 1}); err != nil {
+		t.Fatalf("witness failed certification: %v", err)
+	}
+}
+
+func TestExistsEngineCertifies(t *testing.T) {
+	tp := topology.Torus3D(3, 3, 1, 2, 1)
+	eng := ExistsEngine{}
+	if c := eng.Claims(); !c.DeadlockFree || c.MinVCs != 1 {
+		t.Fatalf("unexpected claims: %+v", c)
+	}
+	res, err := eng.Route(tp.Net, nil, 1)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if res.VCs != 1 {
+		t.Fatalf("witness uses %d VCs, want 1", res.VCs)
+	}
+	if _, err := Certify(tp.Net, res, Options{MaxVCs: 1}); err != nil {
+		t.Fatalf("engine output failed certification: %v", err)
+	}
+}
+
+func BenchmarkDecide(b *testing.B) {
+	tp := topology.Torus3D(4, 4, 2, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := Decide(tp.Net, ExistsOptions{})
+		if err != nil || !dec.Routable {
+			b.Fatalf("Decide: routable=%v err=%v", dec != nil && dec.Routable, err)
+		}
+	}
+}

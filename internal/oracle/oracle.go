@@ -206,16 +206,19 @@ func walkAll(net *graph.Network, res *routing.Result, sources []graph.NodeID, ce
 			continue // destination disconnected by faults; no path owed
 		}
 		epoch++
-		// Own breadth-first sweep: mark d's component. Links are duplex,
-		// so forward reachability from d equals reachability toward d.
+		// Own breadth-first sweep over REVERSED channels: mark exactly the
+		// nodes that can reach d. On duplex networks this coincides with
+		// d's forward component, but one-way faults (graph.SetHalfFailed)
+		// break that symmetry, and a routing owes paths only to nodes that
+		// can actually get to d.
 		queue = queue[:0]
 		queue = append(queue, d)
 		reach[d] = epoch
 		for head := 0; head < len(queue); head++ {
-			for _, c := range net.Out(queue[head]) {
-				if to := net.Channel(c).To; reach[to] != epoch {
-					reach[to] = epoch
-					queue = append(queue, to)
+			for _, c := range net.In(queue[head]) {
+				if from := net.Channel(c).From; reach[from] != epoch {
+					reach[from] = epoch
+					queue = append(queue, from)
 				}
 			}
 		}

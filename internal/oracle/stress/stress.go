@@ -43,11 +43,25 @@ const (
 	// ClassRing is a 1D torus: the escape-dominated k=1 regime, and
 	// the home of the DOR negative control.
 	ClassRing Class = "ring"
+	// ClassFullMesh is an all-to-all switch fabric, the claimed domain
+	// of the VC-free full-mesh engine; trials run at k=1.
+	ClassFullMesh Class = "fullmesh"
+	// ClassDFGroup is a single Dragonfly router group (a full mesh with
+	// Dragonfly-sized parameters); also a k=1 family.
+	ClassDFGroup Class = "dfgroup"
+	// ClassOneWay injects ONE-WAY link faults, breaking the duplex
+	// symmetry every destination-based engine assumes. Half the draws
+	// are directed rings (provably unroutable at one lane — the
+	// existence procedure must say UNROUTABLE), half keep a duplex
+	// spanning tree intact (provably routable — the witness engine must
+	// certify).
+	ClassOneWay Class = "oneway"
 )
 
 // Classes returns every topology family in rotation order.
 func Classes() []Class {
-	return []Class{ClassRandom, ClassRegular, ClassTorus, ClassFatTree, ClassKautz, ClassRing}
+	return []Class{ClassRandom, ClassRegular, ClassTorus, ClassFatTree, ClassKautz, ClassRing,
+		ClassFullMesh, ClassDFGroup, ClassOneWay}
 }
 
 // ClassFor deterministically assigns a family to a seed (the rotation
@@ -81,6 +95,14 @@ func Generate(class Class, rng *rand.Rand) *topology.Topology {
 		// 1D torus rather than topology.Ring so the torus metadata is
 		// present and the DOR baselines apply.
 		return topology.Torus3D(4+rng.Intn(6), 1, 1, 1, 1)
+	case ClassFullMesh:
+		tp := topology.FullMesh(4+rng.Intn(5), 1+rng.Intn(2))
+		return degrade(tp, rng, 0.08)
+	case ClassDFGroup:
+		tp := topology.DragonflyGroup(4+rng.Intn(5), 1+rng.Intn(2))
+		return degrade(tp, rng, 0.08)
+	case ClassOneWay:
+		return generateOneWay(rng)
 	default: // ClassRandom
 		sw := 10 + rng.Intn(16)
 		maxExtra := sw*(sw-1)/2 - (sw - 1)
@@ -92,12 +114,61 @@ func Generate(class Class, rng *rand.Rand) *topology.Topology {
 
 // DefaultVCs draws the virtual-channel budget for a trial. Rings default
 // to k=1 — the escape-dominated corner the fuzz corpus originally
-// missed; everything else sweeps 1..4.
+// missed. Full-mesh families run at k=1 too (the VC-free engine's whole
+// claim), and one-way trials at k=1 so the existence verdict is exact.
+// Everything else sweeps 1..4.
 func DefaultVCs(class Class, rng *rand.Rand) int {
-	if class == ClassRing {
+	switch class {
+	case ClassRing, ClassFullMesh, ClassDFGroup, ClassOneWay:
 		return 1
 	}
 	return 1 + rng.Intn(4)
+}
+
+// generateOneWay builds an asymmetric instance with a PROVABLE
+// one-lane existence verdict. Directed-ring mode keeps only the forward
+// half of every ring link: all transitions around the ring are forced,
+// so no single-lane deadlock-free routing exists. Partial mode half-
+// fails only non-spanning-tree links of a random topology: the intact
+// duplex tree still supports an all-pairs increasing channel order.
+func generateOneWay(rng *rand.Rand) *topology.Topology {
+	if rng.Intn(2) == 0 {
+		n := 4 + rng.Intn(6)
+		tp := topology.Ring(n, 1)
+		net := tp.Net
+		for c := 0; c < net.NumChannels(); c += 2 {
+			fwd := net.Channel(graph.ChannelID(c))
+			if net.IsSwitch(fwd.From) && net.IsSwitch(fwd.To) {
+				net.SetHalfFailed(fwd.Reverse, true)
+			}
+		}
+		tp.Name = fmt.Sprintf("oneway-ring-%d", n)
+		return tp
+	}
+	sw := 6 + rng.Intn(8)
+	maxExtra := sw*(sw-1)/2 - (sw - 1)
+	links := sw - 1 + rng.Intn(min(sw, maxExtra)+1)
+	tp := topology.RandomTopology(rng, sw, links, 1)
+	net := tp.Net
+	tree := graph.SpanningTree(net, net.Switches()[0])
+	dropped := 0
+	for c := 0; c < net.NumChannels(); c += 2 {
+		id := graph.ChannelID(c)
+		fwd := net.Channel(id)
+		if !net.IsSwitch(fwd.From) || !net.IsSwitch(fwd.To) || tree.IsTreeChannel(id) {
+			continue
+		}
+		switch rng.Intn(3) {
+		case 0:
+			net.SetHalfFailed(id, true)
+			dropped++
+		case 1:
+			net.SetHalfFailed(fwd.Reverse, true)
+			dropped++
+		}
+	}
+	tp.Name = fmt.Sprintf("oneway-partial-%d-%d", sw, dropped)
+	return tp
 }
 
 // degrade fails up to maxFraction of the switch-to-switch links without

@@ -151,6 +151,11 @@ func TestChurnTrial(t *testing.T) {
 func TestMcastTrial(t *testing.T) {
 	refuted := 0
 	for s := int64(0); s < int64(len(stress.Classes())); s++ {
+		if stress.ClassFor(s) == stress.ClassOneWay {
+			// Asymmetric networks have no Nue in their roster and skip the
+			// multicast sub-trial entirely.
+			continue
+		}
 		tr := stress.Run(stress.Config{Seed: s, Engine: "nue", McastGroups: 4, McastSize: 4, Workers: 1})
 		if tr.Failed() {
 			t.Fatalf("seed %d (%s): %s", s, tr.Topology, strings.Join(tr.Failures, "\n"))
@@ -180,6 +185,75 @@ func TestMcastReplayString(t *testing.T) {
 	want := "go run ./cmd/nueverify -trials 1 -seed 5 -mcast-groups 6 -mcast-size 3"
 	if got := cfg.Replay(); got != want {
 		t.Fatalf("replay = %q, want %q", got, want)
+	}
+}
+
+// TestDecideReplayString pins the -decide replay flag.
+func TestDecideReplayString(t *testing.T) {
+	cfg := stress.Config{Seed: 5, Decide: true}
+	want := "go run ./cmd/nueverify -trials 1 -seed 5 -decide"
+	if got := cfg.Replay(); got != want {
+		t.Fatalf("replay = %q, want %q", got, want)
+	}
+}
+
+// TestDecideCrossCheck200Seeds is the existence-frontier consistency
+// corpus: 200 seeded trials with the decision procedure enabled. The
+// consistency contract, folded into Trial.Failures by runDecide:
+//
+//   - wherever ANY engine produced an oracle-certified single-lane
+//     table, the procedure must answer "routable" (a refutation there
+//     is a "contradiction" hard failure), and
+//   - wherever the procedure proves routability, SOME engine must
+//     certify ("engine-bug" otherwise — that is the frontier's point),
+//
+// so every refutation classifies as engine-bug or genuinely
+// unroutable, never silently. The vacuity check requires the corpus to
+// exercise both verdicts.
+func TestDecideCrossCheck200Seeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200-seed corpus is not a -short test")
+	}
+	const seeds = 200
+	var (
+		mu       sync.Mutex
+		failures []string
+		trials   []*stress.Trial
+	)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for s := int64(0); s < seeds; s++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr := stress.Run(stress.Config{Seed: seed, Decide: true, Workers: 1})
+			mu.Lock()
+			trials = append(trials, tr)
+			failures = append(failures, tr.Failures...)
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	for _, f := range failures {
+		t.Error(f)
+	}
+	counts := map[string]int{}
+	for _, tr := range trials {
+		if tr.Decide == nil {
+			t.Fatalf("trial %s: decision procedure did not run", tr.Topology)
+		}
+		counts[tr.Decide.Classification]++
+	}
+	t.Logf("decide corpus: %v", counts)
+	if counts["routed"] == 0 || counts["unroutable"] == 0 {
+		t.Fatalf("vacuous decide corpus: %v — both verdicts must appear", counts)
+	}
+	for _, bad := range []string{"engine-bug", "contradiction", "ambiguous", "undecided"} {
+		if counts[bad] != 0 {
+			t.Fatalf("%d trials classified %q: %v", counts[bad], bad, counts)
+		}
 	}
 }
 
@@ -233,6 +307,12 @@ func TestGenerateClasses(t *testing.T) {
 			}
 			if class == stress.ClassFatTree && tp.Tree == nil {
 				t.Fatalf("%s seed %d: fat tree lost its tree metadata", class, s)
+			}
+			if (class == stress.ClassFullMesh || class == stress.ClassDFGroup) && tp.Mesh == nil {
+				t.Fatalf("%s seed %d: mesh family lost its rank metadata", class, s)
+			}
+			if class == stress.ClassOneWay && tp.Net.Symmetric() {
+				t.Fatalf("%s seed %d: one-way family generated a symmetric network", class, s)
 			}
 		}
 	}

@@ -9,9 +9,11 @@ import (
 	"repro/internal/graph"
 	"repro/internal/oracle"
 	"repro/internal/routing"
+	"repro/internal/routing/angara"
 	"repro/internal/routing/dfsssp"
 	"repro/internal/routing/dor"
 	"repro/internal/routing/ftree"
+	"repro/internal/routing/fullmesh"
 	"repro/internal/routing/lash"
 	"repro/internal/routing/minhop"
 	"repro/internal/routing/updn"
@@ -54,6 +56,12 @@ type Config struct {
 	// Workers bounds Nue's and the fabric manager's parallelism
 	// (0 = GOMAXPROCS); the routing is identical for every value.
 	Workers int
+	// Decide additionally runs the existence decision procedure
+	// (oracle.Decide) and classifies the trial: ENGINE-BUG when the
+	// topology is provably routable but no engine certified (hard
+	// failure with a replay line), UNROUTABLE when no single-lane
+	// routing exists and the budget is one lane.
+	Decide bool
 }
 
 // Replay renders the cmd/nueverify invocation that reproduces this
@@ -78,6 +86,9 @@ func (cfg Config) Replay() string {
 		if cfg.McastSize != 0 {
 			fmt.Fprintf(&b, " -mcast-size %d", cfg.McastSize)
 		}
+	}
+	if cfg.Decide {
+		b.WriteString(" -decide")
 	}
 	return b.String()
 }
@@ -110,6 +121,7 @@ type Trial struct {
 	Outcomes []Outcome
 	Churn    *ChurnReport
 	Mcast    *McastReport
+	Decide   *DecideReport
 	// Failures are the hard violations: a claiming engine refuted, an
 	// oracle/verify verdict disagreement, an invalid witness, a Nue
 	// routing error, or a churn step rejected. Each line ends with the
@@ -126,12 +138,23 @@ func (tr *Trial) fail(format string, args ...any) {
 }
 
 // Engines returns the differential-engine roster for a topology:
-// always Nue (via NewNue), Up*/Down*, LASH, DFSSSP and MinHop; plus
-// ftree on fat trees, and both DOR variants (plain = the negative
-// baseline, torus2qos = the dateline fix) on tori.
+// always Nue (via NewNue), Up*/Down*, LASH, DFSSSP, MinHop and the
+// existence-witness engine; plus ftree on fat trees, the DOR variants
+// (plain = the negative baseline, torus2qos = the dateline fix) and
+// Angara on tori, and the VC-free engine on full meshes. Networks with
+// one-way faults break the duplex assumption baked into the
+// destination-based engines, so their roster is just the existence
+// witness (must certify exactly when the procedure says routable) and
+// the MinHop negative baseline.
 func Engines(tp *topology.Topology, seed int64, workers int) []Spec {
 	if NewNue == nil {
 		panic("stress: NewNue is not installed; wire it to the Nue constructor (see cmd/nueverify)")
+	}
+	if !tp.Net.Symmetric() {
+		return []Spec{
+			{Name: "exists", Engine: oracle.ExistsEngine{}},
+			{Name: "minhop", Engine: minhop.MinHop{}},
+		}
 	}
 	specs := []Spec{
 		{Name: "nue", Engine: NewNue(seed, workers)},
@@ -139,6 +162,7 @@ func Engines(tp *topology.Topology, seed int64, workers int) []Spec {
 		{Name: "lash", Engine: lash.Engine{}},
 		{Name: "dfsssp", Engine: dfsssp.Engine{}},
 		{Name: "minhop", Engine: minhop.MinHop{}},
+		{Name: "exists", Engine: oracle.ExistsEngine{}},
 	}
 	if tp.Tree != nil {
 		specs = append(specs, Spec{Name: "ftree", Engine: ftree.Engine{Level: tp.Tree.Level}})
@@ -146,9 +170,20 @@ func Engines(tp *topology.Topology, seed int64, workers int) []Spec {
 	if tp.Torus != nil {
 		specs = append(specs,
 			Spec{Name: "dor", Engine: dor.Engine{Meta: tp.Torus}},
-			Spec{Name: "torus2qos", Engine: dor.Engine{Meta: tp.Torus, Datelines: true}})
+			Spec{Name: "torus2qos", Engine: dor.Engine{Meta: tp.Torus, Datelines: true}},
+			Spec{Name: "angara", Engine: angara.Engine{Meta: tp.Torus}})
+	}
+	if tp.Mesh != nil {
+		specs = append(specs, Spec{Name: "fullmesh", Engine: fullmesh.Engine{Meta: tp.Mesh}})
 	}
 	return specs
+}
+
+// EngineNames lists every engine name any roster can produce, for
+// front-end flag validation.
+func EngineNames() []string {
+	return []string{"nue", "updn", "lash", "dfsssp", "minhop", "exists",
+		"ftree", "dor", "torus2qos", "angara", "fullmesh"}
 }
 
 // Spec names one engine of the differential roster.
@@ -191,23 +226,106 @@ func Run(cfg Config) *Trial {
 	if cfg.Engine != "" && !matched {
 		tr.fail("engine %q is not applicable to topology %s (class %s)", cfg.Engine, tp.Name, class)
 	}
-	if cfg.Churn > 0 {
+	if cfg.Decide {
+		tr.Decide = tr.runDecide(tp.Net, vcs)
+	}
+	// Churn and multicast drive Nue-based machinery, which is only in
+	// the roster of symmetric networks.
+	if cfg.Churn > 0 && tp.Net.Symmetric() {
 		tr.Churn = tr.runChurn(tp, vcs, rng)
 	}
-	if cfg.McastGroups > 0 {
+	if cfg.McastGroups > 0 && tp.Net.Symmetric() {
 		tr.Mcast = tr.runMcast(tp, vcs)
 	}
 	return tr
+}
+
+// DecideReport records the existence verdict and the trial's resulting
+// classification.
+type DecideReport struct {
+	// Routable is the single-lane existence verdict.
+	Routable bool
+	// Exhaustive marks verdicts settled by exhaustive order search.
+	Exhaustive bool
+	// Pairs counts the switch-level pairs the procedure covered.
+	Pairs int
+	// TrapLen is the forced-dependency cycle length on refutation.
+	TrapLen int
+	// Classification is one of "routed", "engine-bug", "unroutable",
+	// "ambiguous" or "contradiction" (the latter three: see runDecide).
+	Classification string
+}
+
+// runDecide executes the existence decision procedure and classifies
+// the trial:
+//
+//	routed         routable (or engines found a multi-lane routing)
+//	engine-bug     provably routable, yet NO engine certified — hard
+//	               failure with a replayable witness line
+//	unroutable     no single-lane routing exists; budget was one lane
+//	ambiguous      no single-lane routing exists, but the budget allows
+//	               more lanes than the procedure decides for
+//	contradiction  procedure says unroutable, an engine certified at
+//	               one lane — hard failure (the procedure is unsound)
+func (tr *Trial) runDecide(net *graph.Network, vcs int) *DecideReport {
+	rep := &DecideReport{}
+	dec, err := oracle.Decide(net, oracle.ExistsOptions{Dests: destsOf(net)})
+	if err != nil {
+		rep.Classification = "undecided"
+		tr.fail("existence procedure undecided on %s: %v", tr.Topology, err)
+		return rep
+	}
+	rep.Routable, rep.Exhaustive, rep.Pairs, rep.TrapLen = dec.Routable, dec.Exhaustive, dec.Pairs, len(dec.Trap)
+	certified := false
+	singleLane := false
+	for _, o := range tr.Outcomes {
+		if o.Certified() {
+			certified = true
+			if o.Cert != nil && o.Cert.Layers <= 1 {
+				singleLane = true
+			}
+		}
+	}
+	if dec.Routable {
+		// The verdict must carry its own proof: the witness routing has
+		// to certify at a one-lane budget.
+		if _, cerr := oracle.Certify(net, dec.Witness, oracle.Options{MaxVCs: 1}); cerr != nil {
+			tr.fail("existence witness for %s failed certification: %v", tr.Topology, cerr)
+		}
+		if certified {
+			rep.Classification = "routed"
+		} else {
+			rep.Classification = "engine-bug"
+			tr.fail("topology %s is provably routable (order over %d pairs) but no engine produced a certified routing",
+				tr.Topology, dec.Pairs)
+		}
+		return rep
+	}
+	if dec.Trap != nil {
+		if terr := oracle.ValidateTrap(net, dec.Trap); terr != nil {
+			tr.fail("existence trap for %s failed validation: %v", tr.Topology, terr)
+		}
+	}
+	switch {
+	case singleLane:
+		rep.Classification = "contradiction"
+		tr.fail("existence procedure declared %s unroutable at one lane, but an engine certified a single-lane routing",
+			tr.Topology)
+	case certified:
+		rep.Classification = "routed" // multi-lane routing; consistent with single-lane impossibility
+	case tr.VCs == 1:
+		rep.Classification = "unroutable"
+	default:
+		rep.Classification = "ambiguous"
+	}
+	return rep
 }
 
 // runEngine routes the network with one engine and adjudicates the
 // result: oracle certification, verifier cross-check, claims contract.
 func (tr *Trial) runEngine(net *graph.Network, spec Spec, vcs int) Outcome {
 	out := Outcome{Engine: spec.Name, Claims: routing.ClaimsOf(spec.Engine)}
-	dests := net.Terminals()
-	if len(dests) == 0 {
-		dests = net.Switches()
-	}
+	dests := destsOf(net)
 	res, err := spec.Engine.Route(net, dests, vcs)
 	if err != nil {
 		out.RouteErr = err.Error()
@@ -253,6 +371,15 @@ func (tr *Trial) runEngine(net *graph.Network, spec Spec, vcs int) Outcome {
 			spec.Name, cert.Layers, vcs, tr.Topology)
 	}
 	return out
+}
+
+// destsOf is the harness-wide destination convention: terminals, or
+// every switch on terminal-free networks.
+func destsOf(net *graph.Network) []graph.NodeID {
+	if d := net.Terminals(); len(d) > 0 {
+		return d
+	}
+	return net.Switches()
 }
 
 func formatWitness(w []oracle.Dep) string {

@@ -1,0 +1,122 @@
+package fullmesh_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/routing/fullmesh"
+	"repro/internal/topology"
+)
+
+// TestCertifies50Seeds is the acceptance sweep: 50 seeded full-mesh and
+// Dragonfly-group fabrics, degraded like the stress generator, must
+// route VC-free and certify with the independent oracle at the claimed
+// single-lane budget. Refusal is allowed only on degraded instances
+// (the engine's documented envelope) and must stay rare.
+func TestCertifies50Seeds(t *testing.T) {
+	certified, refused := 0, 0
+	for seed := int64(0); seed < 100 && certified < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var tp *topology.Topology
+		if seed%2 == 0 {
+			tp = topology.FullMesh(4+rng.Intn(5), 1+rng.Intn(2))
+		} else {
+			tp = topology.DragonflyGroup(4+rng.Intn(5), 1+rng.Intn(2))
+		}
+		failed := 0
+		if rng.Intn(2) == 0 {
+			tp, failed = topology.InjectLinkFailures(tp, rng, 0.08)
+		}
+		eng := fullmesh.Engine{Meta: tp.Mesh}
+		res, err := eng.Route(tp.Net, tp.Net.Terminals(), 1)
+		if err != nil {
+			if failed == 0 {
+				t.Fatalf("seed %d: refused a pristine mesh: %v", seed, err)
+			}
+			refused++
+			continue
+		}
+		if res.VCs != 1 {
+			t.Fatalf("seed %d: result uses %d VCs, want 1", seed, res.VCs)
+		}
+		cert, err := oracle.Certify(tp.Net, res, oracle.Options{MaxVCs: 1})
+		if err != nil {
+			t.Fatalf("seed %d (%s): oracle refuted the VC-free table: %v", seed, tp.Name, err)
+		}
+		if cert.Layers != 1 {
+			t.Fatalf("seed %d: certificate reports %d layers, want 1", seed, cert.Layers)
+		}
+		certified++
+	}
+	t.Logf("fullmesh sweep: %d certified, %d refused", certified, refused)
+	if certified < 50 {
+		t.Fatalf("only %d seeds certified in 100 draws — the envelope is narrower than claimed", certified)
+	}
+	if refused > certified/2 {
+		t.Fatalf("refusal dominates the sweep (%d refused vs %d certified)", refused, certified)
+	}
+}
+
+// TestIndirectAscent pins the fault path: with the direct link between
+// a low-ranked switch and the destination switch dead, traffic must
+// ascend through a higher-ranked intermediate, and the table must still
+// certify on one lane.
+func TestIndirectAscent(t *testing.T) {
+	tp := topology.FullMesh(5, 1)
+	net := tp.Net
+	s0, s1 := tp.Mesh.Switches[0], tp.Mesh.Switches[1]
+	c := net.FindChannel(s0, s1)
+	if c == graph.NoChannel || !net.SetChannelFailed(c, true) {
+		t.Fatal("could not fail the s0-s1 link")
+	}
+	res, err := fullmesh.Engine{Meta: tp.Mesh}.Route(net, net.Terminals(), 1)
+	if err != nil {
+		t.Fatalf("Route: %v", err)
+	}
+	if res.Stats["indirect"] == 0 {
+		t.Fatal("no indirect hop recorded despite a dead direct link")
+	}
+	if _, err := oracle.Certify(net, res, oracle.Options{MaxVCs: 1}); err != nil {
+		t.Fatalf("oracle refuted the degraded table: %v", err)
+	}
+}
+
+// TestRefusesBeyondEnvelope forces the documented refusal: the
+// HIGHEST-ranked switch has no higher-ranked intermediate to ascend to,
+// so killing its direct link to some destination switch leaves no
+// monotone path and the engine must refuse rather than emit a
+// non-monotone table.
+func TestRefusesBeyondEnvelope(t *testing.T) {
+	tp := topology.FullMesh(4, 1)
+	net := tp.Net
+	top := tp.Mesh.Switches[len(tp.Mesh.Switches)-1]
+	bottom := tp.Mesh.Switches[0]
+	c := net.FindChannel(top, bottom)
+	if c == graph.NoChannel || !net.SetChannelFailed(c, true) {
+		t.Fatal("could not fail the top-bottom link")
+	}
+	if _, err := (fullmesh.Engine{Meta: tp.Mesh}).Route(net, net.Terminals(), 1); err == nil {
+		t.Fatal("engine accepted a mesh outside the monotone envelope")
+	}
+}
+
+// TestRefusals pins the input-validation errors.
+func TestRefusals(t *testing.T) {
+	tp := topology.FullMesh(4, 1)
+	if _, err := (fullmesh.Engine{}).Route(tp.Net, tp.Net.Terminals(), 1); err == nil {
+		t.Fatal("routed without mesh metadata")
+	}
+	if _, err := (fullmesh.Engine{Meta: tp.Mesh}).Route(tp.Net, tp.Net.Terminals(), 0); err == nil {
+		t.Fatal("routed with a zero virtual-channel budget")
+	}
+}
+
+// TestClaims pins the engine's claim: deadlock-free at a single VC.
+func TestClaims(t *testing.T) {
+	c := fullmesh.Engine{}.Claims()
+	if !c.DeadlockFree || c.MinVCs != 1 {
+		t.Fatalf("claims = %+v, want deadlock-free at 1 VC", c)
+	}
+}

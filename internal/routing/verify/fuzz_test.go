@@ -22,7 +22,7 @@ import (
 // fuzzTopology derives a small topology from the fuzz inputs; every input
 // maps to some valid network so the fuzzer never wastes executions.
 func fuzzTopology(kind, a, b, c uint8, seed int64) *topology.Topology {
-	switch kind % 5 {
+	switch kind % 7 {
 	case 0:
 		return topology.Torus3D(2+int(a%3), 2+int(b%3), 2+int(c%2), 1+int(a%2), 1)
 	case 1:
@@ -36,6 +36,14 @@ func fuzzTopology(kind, a, b, c uint8, seed int64) *topology.Topology {
 		// escape-dominated — nearly every route leans on the spanning
 		// tree, the regime where the CDG has the least slack.
 		return topology.Torus3D(4+int(a%6), 1, 1, 1+int(b%2), 1)
+	case 5:
+		// Full mesh: the VC-free engine's claimed domain; Nue must handle
+		// the all-to-all dependency density too.
+		return topology.FullMesh(4+int(a%5), 1+int(b%2))
+	case 6:
+		// A single Dragonfly router group (full mesh with Dragonfly-sized
+		// parameters).
+		return topology.DragonflyGroup(4+int(a%5), 1+int(b%2))
 	default:
 		rng := rand.New(rand.NewSource(seed))
 		sws := 10 + int(a)%30
@@ -77,6 +85,10 @@ func FuzzNueProperties(f *testing.F) {
 	// tree and the dependency slack is smallest.
 	f.Add(uint8(4), uint8(2), uint8(0), uint8(0), int64(7), uint8(0), uint8(1), uint8(0))
 	f.Add(uint8(4), uint8(5), uint8(1), uint8(0), int64(8), uint8(0), uint8(6), uint8(4))
+	// Full-mesh families at k=1: the all-to-all fabric where the VC-free
+	// engine lives; Nue's escape layer must survive the same corner.
+	f.Add(uint8(5), uint8(3), uint8(1), uint8(0), int64(9), uint8(0), uint8(2), uint8(6))
+	f.Add(uint8(6), uint8(4), uint8(0), uint8(0), int64(10), uint8(0), uint8(5), uint8(0))
 
 	f.Fuzz(func(t *testing.T, kind, a, b, c uint8, seed int64, vcs, workers, failPct uint8) {
 		tp := fuzzTopology(kind, a, b, c, seed)
@@ -98,7 +110,7 @@ func FuzzNueProperties(f *testing.F) {
 		if err != nil {
 			// Nue must succeed on every connected network for any k >= 1
 			// (Lemma 3); failure injection keeps the network connected.
-			t.Fatalf("kind=%d k=%d workers=%d: Route failed: %v", kind%5, k, w, err)
+			t.Fatalf("kind=%d k=%d workers=%d: Route failed: %v", kind%7, k, w, err)
 		}
 
 		// Lemma 1/3: every source reaches every destination over valid,
@@ -106,7 +118,7 @@ func FuzzNueProperties(f *testing.F) {
 		// dependency graph is acyclic.
 		rep, err := verify.Check(tp.Net, res, nil)
 		if err != nil {
-			t.Fatalf("kind=%d k=%d workers=%d: %v", kind%5, k, w, err)
+			t.Fatalf("kind=%d k=%d workers=%d: %v", kind%7, k, w, err)
 		}
 		if !rep.DeadlockFree {
 			t.Fatalf("verifier passed but reported not deadlock-free")
@@ -116,7 +128,7 @@ func FuzzNueProperties(f *testing.F) {
 		// its own walker, dependency graph and cycle search) must agree
 		// with the verifier on every fuzzed routing.
 		if _, oerr := oracle.Certify(tp.Net, res, oracle.Options{MaxVCs: k}); oerr != nil {
-			t.Fatalf("kind=%d k=%d workers=%d: verifier passed but oracle refutes: %v", kind%5, k, w, oerr)
+			t.Fatalf("kind=%d k=%d workers=%d: verifier passed but oracle refutes: %v", kind%7, k, w, oerr)
 		}
 
 		// Destination-based consistency: the layer is a function of the

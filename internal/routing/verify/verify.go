@@ -77,13 +77,13 @@ func checkConnectivity(net *graph.Network, res *routing.Result, sources []graph.
 		if net.Degree(d) == 0 {
 			continue // destination disconnected by faults
 		}
-		reach := graph.BFS(net, d)
+		reach := graph.ReverseBFS(net, d)
 		for _, s := range sources {
 			if s == d {
 				continue
 			}
 			if reach.Dist[s] < 0 {
-				continue // different component; no path required
+				continue // cannot reach d (one-way faults); no path required
 			}
 			p, err := res.PathFor(s, d)
 			if err != nil {

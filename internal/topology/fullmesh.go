@@ -1,0 +1,60 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// MeshMeta describes an all-to-all (full-mesh) switch fabric: every
+// pair of switches shares a direct duplex link (until faults remove
+// some). The VC-free full-mesh router needs a total order on the
+// switches to keep its non-minimal paths monotone.
+type MeshMeta struct {
+	// Rank is the switch's position in the total order (dense 0..n-1).
+	// Switches not part of the mesh (none, today) have no entry.
+	Rank map[graph.NodeID]int
+	// Switches lists the mesh switches in rank order.
+	Switches []graph.NodeID
+}
+
+// FullMesh builds a complete graph of n switches (every pair directly
+// linked) with t terminals per switch — the intra-group fabric of a
+// Dragonfly router group, and the topology family of the HOTI'25
+// VC-free routing scenario.
+func FullMesh(n, t int) *Topology {
+	tp := fullMesh(n, t)
+	tp.Name = fmt.Sprintf("fullmesh-%d", n)
+	return tp
+}
+
+// DragonflyGroup builds one Dragonfly router group in isolation: a
+// full mesh of a switches with p terminals each (the global ports are
+// unused when the group stands alone). It carries the same MeshMeta as
+// FullMesh, so the VC-free full-mesh router applies.
+func DragonflyGroup(a, p int) *Topology {
+	tp := fullMesh(a, p)
+	tp.Name = fmt.Sprintf("dfgroup-a%d-p%d", a, p)
+	return tp
+}
+
+func fullMesh(n, t int) *Topology {
+	if n < 2 {
+		panic("topology: full mesh needs >= 2 switches")
+	}
+	b := graph.NewBuilder()
+	meta := &MeshMeta{Rank: make(map[graph.NodeID]int, n)}
+	sw := make([]graph.NodeID, n)
+	for i := range sw {
+		sw[i] = b.AddSwitch(fmt.Sprintf("m%d", i))
+		meta.Rank[sw[i]] = i
+	}
+	meta.Switches = sw
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddLink(sw[i], sw[j])
+		}
+	}
+	addTerminals(b, sw, t)
+	return &Topology{Net: b.MustBuild(), Mesh: meta}
+}

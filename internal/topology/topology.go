@@ -23,6 +23,9 @@ type Topology struct {
 	// Tree is non-nil for fat-tree-like networks; required by the
 	// fat-tree router.
 	Tree *TreeMeta
+	// Mesh is non-nil for full-mesh (all-to-all) switch fabrics such as
+	// single Dragonfly groups; required by the VC-free full-mesh router.
+	Mesh *MeshMeta
 	// Groups lists multicast group memberships (terminal IDs) carried
 	// with the topology; group IDs are the 1-based slice positions.
 	// Empty for topologies without a multicast workload.
