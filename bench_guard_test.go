@@ -12,15 +12,17 @@ import (
 	"testing"
 )
 
+type benchEntry struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
 type benchBaseline struct {
-	Description string `json:"description"`
-	Cores       int    `json:"cores"`
-	Benchmarks  []struct {
-		Name        string `json:"name"`
-		NsPerOp     int64  `json:"ns_per_op"`
-		BytesPerOp  int64  `json:"bytes_per_op"`
-		AllocsPerOp int64  `json:"allocs_per_op"`
-	} `json:"benchmarks"`
+	Description string       `json:"description"`
+	Cores       int          `json:"cores"`
+	Benchmarks  []benchEntry `json:"benchmarks"`
 }
 
 func loadBaseline(t *testing.T, path string) map[string]int64 {
@@ -41,6 +43,27 @@ func loadBaseline(t *testing.T, path string) map[string]int64 {
 		out[e.Name] = e.NsPerOp
 	}
 	return out
+}
+
+// loadBaselineEntry returns the full recorded entry (ns, bytes, allocs)
+// for one benchmark, failing the test when it is absent.
+func loadBaselineEntry(t *testing.T, path, name string) benchEntry {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing benchmark baseline: %v", err)
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	for _, e := range b.Benchmarks {
+		if e.Name == name {
+			return e
+		}
+	}
+	t.Fatalf("%s is missing %s", path, name)
+	return benchEntry{}
 }
 
 // TestBenchGuardRouteParallel: the telemetry-off routing path must not
@@ -188,6 +211,78 @@ func TestBenchGuardFrontier(t *testing.T) {
 	}
 	if decide >= route {
 		t.Errorf("existence decision (%d ns/op) not faster than the routing pass it adjudicates (%d ns/op)", decide, route)
+	}
+}
+
+// TestBenchGuardFlatCore: the pr8 recording (flat routing core) must
+// prove the rebuild paid off and nothing else regressed. Three pins:
+// every benchmark shared with pr7 stays within 5%; the hot routing
+// path (BenchmarkRouteParallel/workers=1) runs at least 3x faster and
+// allocates at least 5x fewer objects than pr7's Fibonacci-heap +
+// map-adjacency core; and the new 4k-32k switch tier is recorded, so
+// the flat core's target regime can never silently drop out of the
+// baseline again.
+func TestBenchGuardFlatCore(t *testing.T) {
+	prev := loadBaseline(t, "BENCH_pr7.json")
+	cur := loadBaseline(t, "BENCH_pr8.json")
+	const tolerance = 1.05
+	// BenchmarkCastTreeBuild gets a documented allowance instead of the
+	// 5% sweep: the flat Graph carries the used-edge adjacency and the
+	// level arrays the routing speedup is built on, and the mcast
+	// builder retains its CDGs inside overlays, so the arena pool never
+	// recycles them there — the build pays the larger arena at
+	// first-allocation price every time. The compensating absolute pin
+	// below (cast build orders of magnitude under a routing pass) keeps
+	// the trade honest.
+	const castBuildTolerance = 1.25
+	checked := 0
+	for name, was := range prev {
+		now, ok := cur[name]
+		if !ok {
+			continue
+		}
+		checked++
+		tol := tolerance
+		if name == "BenchmarkCastTreeBuild" {
+			tol = castBuildTolerance
+		}
+		if float64(now) > float64(was)*tol {
+			t.Errorf("%s regressed: %d ns/op vs %d ns/op (>%.0f%%)",
+				name, now, was, (tol-1)*100)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("pr7 and pr8 baselines share no benchmark names; guard checked nothing")
+	}
+	if build, ok := cur["BenchmarkCastTreeBuild"]; ok {
+		if route := cur["BenchmarkRouteParallel/workers=1"]; build*10 > route {
+			t.Errorf("cast build (%d ns/op) no longer far below a routing pass (%d ns/op)", build, route)
+		}
+	}
+	// The tentpole speedup, recorded: >=3x ns/op and >=5x allocs/op on
+	// the guarded routing benchmark.
+	const key = "BenchmarkRouteParallel/workers=1"
+	was, now := loadBaselineEntry(t, "BENCH_pr7.json", key), loadBaselineEntry(t, "BENCH_pr8.json", key)
+	if now.NsPerOp*3 > was.NsPerOp {
+		t.Errorf("flat core not >=3x faster: %d ns/op vs pr7's %d ns/op", now.NsPerOp, was.NsPerOp)
+	}
+	if was.AllocsPerOp <= 0 || now.AllocsPerOp <= 0 {
+		t.Fatalf("%s is missing allocs_per_op in a baseline", key)
+	}
+	if now.AllocsPerOp*5 > was.AllocsPerOp {
+		t.Errorf("flat core not >=5x fewer allocs: %d allocs/op vs pr7's %d allocs/op",
+			now.AllocsPerOp, was.AllocsPerOp)
+	}
+	// The large tier must be present.
+	for _, name := range []string{
+		"BenchmarkRouteLarge/torus-16x16x16/workers=1",
+		"BenchmarkRouteLarge/dragonfly-a16g256/workers=1",
+		"BenchmarkRouteLarge/ftree-16ary4/workers=1",
+		"BenchmarkRouteLarge/torus-32x32x32/workers=1",
+	} {
+		if _, ok := cur[name]; !ok {
+			t.Errorf("BENCH_pr8.json is missing the large-tier recording %s", name)
+		}
 	}
 }
 

@@ -242,6 +242,54 @@ func benchRouteParallel(b *testing.B, withTelemetry bool) {
 	}
 }
 
+// --- Large-scale tier (PR 8): 4k-32k switches, the flat core's regime ---
+
+// BenchmarkRouteLarge routes the large-scale tier classes
+// (experiments.LargeClasses: three paper families at 4,096-32,768
+// switches) against the tier's deterministic 512-destination stride
+// sample. The flat routing core — CSR adjacency, dial queue, pooled CDG
+// arenas — exists for exactly this regime; BENCH_pr8.json records the
+// tier and TestBenchGuardFlatCore pins it. Worker counts never change
+// the routes (see TestFlatCoreEquivalence), only wall-clock.
+func BenchmarkRouteLarge(b *testing.B) {
+	sample := experiments.DefaultLargeConfig().DestSample
+	for _, tc := range []struct {
+		class   string
+		workers int
+	}{
+		{"torus-16x16x16", 1},
+		{"torus-16x16x16", 8},
+		{"dragonfly-a16g256", 1},
+		{"ftree-16ary4", 1},
+		{"torus-32x32x32", 1},
+	} {
+		b.Run(fmt.Sprintf("%s/workers=%d", tc.class, tc.workers), func(b *testing.B) {
+			var cl experiments.LargeClass
+			for _, c := range experiments.LargeClasses() {
+				if c.Name == tc.class {
+					cl = c
+				}
+			}
+			if cl.Build == nil {
+				b.Fatalf("unknown large class %q", tc.class)
+			}
+			tp := cl.Build()
+			dests := experiments.SampleSwitches(tp.Net, sample)
+			opts := DefaultNueOptions()
+			opts.Seed = 1
+			opts.Workers = tc.workers
+			eng := core.New(opts)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Route(tp.Net, dests, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Online fabric manager: incremental repair vs full recompute ---
 
 // fabricChurnBatchSize is ~2% of the duplex switch-switch links.

@@ -9,6 +9,7 @@
 //	nuebench -exp table1               # topology configuration table
 //	nuebench -exp mcast -mcast-groups 8 -mcast-size 6  # cast-tree routing + replication sim
 //	nuebench -exp frontier             # specialist low-VC engines vs Nue + existence verdicts
+//	nuebench -exp large -large-sample 512  # 4k-32k switch tier (flat-core regime)
 //	nuebench -exp all                  # everything, default scales
 //
 // Default scales are laptop-sized; the flags restore the paper's full
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, mcast, frontier, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, mcast, frontier, large, all")
 		trials   = flag.Int("trials", 5, "fig9: number of random topologies (paper: 1000)")
 		phases   = flag.Int("phases", 16, "fig10: all-to-all shift phases (0 = full, the paper's workload)")
 		maxDim   = flag.Int("maxdim", 6, "fig11: largest torus dimension (paper: 10)")
@@ -38,6 +39,7 @@ func main() {
 		verify   = flag.Bool("verify", false, "fig11: verify deadlock freedom of every result (slow)")
 		mcGroups = flag.Int("mcast-groups", 8, "mcast: number of seeded random multicast groups")
 		mcSize   = flag.Int("mcast-size", 6, "mcast: members per multicast group")
+		lgSample = flag.Int("large-sample", 512, "large: max sampled destinations per class (0 = every switch)")
 		telem    = flag.Bool("telemetry", false, "instrument the runs (currently fig1) and append a JSON metrics dump")
 		out      = flag.String("o", "", "write output to file instead of stdout")
 	)
@@ -132,6 +134,15 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		case "large":
+			cfg := experiments.DefaultLargeConfig()
+			cfg.DestSample = *lgSample
+			cfg.Seed = *seed
+			cfg.Workers = *workers
+			if *maxVCs > 0 {
+				cfg.MaxVCs = *maxVCs
+			}
+			experiments.WriteLarge(w, cfg)
 		case "fig11":
 			cfg := experiments.DefaultFig11Config()
 			cfg.MaxDim = *maxDim

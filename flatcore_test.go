@@ -1,0 +1,146 @@
+package repro
+
+// The flat-core equivalence wall: PR 8 rebuilt the routing hot path on
+// flat int-indexed structures (graph CSR view, dial bucket queue, CDG
+// arenas). The refactor's contract is BIT-IDENTICAL output — same
+// forwarding tables, same virtual-layer assignment, same final CDG
+// states — between the legacy path (Network-method adjacency + Fibonacci
+// heap) and the flat path (CSR + dial queue), for every topology family
+// and every worker count. These tests are that contract.
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/oracle/stress"
+	"repro/internal/topology"
+)
+
+// flatCase is one topology instance of the equivalence wall.
+type flatCase struct {
+	name string
+	tp   *topology.Topology
+	vcs  int
+}
+
+// flatCoreCases builds the topology matrix: every stress-harness family,
+// healthy and degraded. All draws use pinned seeds, so the instances —
+// and therefore the asserted hashes — are stable across runs.
+func flatCoreCases(t testing.TB) []flatCase {
+	degraded := func(tp *topology.Topology, seed int64) *topology.Topology {
+		out, _ := topology.InjectLinkFailures(tp, rand.New(rand.NewSource(seed)), 0.12)
+		return out
+	}
+	return []flatCase{
+		{"torus-4x4x3", topology.Torus3D(4, 4, 3, 1, 1), 4},
+		{"torus-4x4x3-degraded", degraded(topology.Torus3D(4, 4, 3, 1, 1), 11), 4},
+		{"dragonfly-a4h2g9", topology.Dragonfly(4, 2, 2, 9), 4},
+		{"dragonfly-a4h2g9-degraded", degraded(topology.Dragonfly(4, 2, 2, 9), 12), 4},
+		{"fattree-2ary3", topology.KAryNTree(2, 3, 2), 2},
+		{"fattree-2ary3-degraded", degraded(topology.KAryNTree(2, 3, 2), 13), 2},
+		{"kautz-b3k2", topology.Kautz(3, 2, 1, 1), 3},
+		{"kautz-b3k2-degraded", degraded(topology.Kautz(3, 2, 1, 1), 14), 3},
+		{"fullmesh-8", topology.FullMesh(8, 1), 1},
+		{"fullmesh-8-degraded", degraded(topology.FullMesh(8, 1), 15), 1},
+		{"regular-12x3", stress.RandomRegular(rand.New(rand.NewSource(16)), 12, 3, 1), 2},
+		{"regular-12x3-degraded", degraded(stress.RandomRegular(rand.New(rand.NewSource(17)), 12, 3, 1), 18), 2},
+	}
+}
+
+// hashRouting digests everything the control plane would install: VC
+// count, per-destination layer and every (switch, destination) next hop.
+func hashRouting(net *graph.Network, res *RoutingResult) uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	put(uint64(res.VCs))
+	for _, l := range res.DestLayer {
+		put(uint64(l))
+	}
+	for n := 0; n < net.NumNodes(); n++ {
+		if !net.IsSwitch(graph.NodeID(n)) {
+			continue
+		}
+		for _, d := range res.Table.Dests() {
+			put(uint64(uint32(res.Table.Next(graph.NodeID(n), d))))
+		}
+	}
+	return h.Sum64()
+}
+
+// routeHashed routes tp's terminals and returns the table hash plus the
+// per-layer CDG state digests.
+func routeHashed(t *testing.T, tc flatCase, opts core.Options) (uint64, []uint64) {
+	t.Helper()
+	dests := tc.tp.Net.Terminals()
+	if len(dests) == 0 {
+		dests = tc.tp.Net.Switches()
+	}
+	res, err := core.New(opts).Route(tc.tp.Net, dests, tc.vcs)
+	if err != nil {
+		t.Fatalf("%s: route failed: %v", tc.name, err)
+	}
+	if res.LayerCDG == nil {
+		t.Fatalf("%s: result carries no LayerCDG digests", tc.name)
+	}
+	return hashRouting(tc.tp.Net, res), res.LayerCDG
+}
+
+// TestFlatCoreEquivalence routes every family through the legacy and the
+// flat core across worker counts 1/2/8 and asserts that forwarding
+// tables (golden hash) and final CDG edge/vertex states (per-layer
+// digests) are byte-identical everywhere.
+func TestFlatCoreEquivalence(t *testing.T) {
+	for _, tc := range flatCoreCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var goldenHash uint64
+			var goldenCDG []uint64
+			for _, workers := range []int{1, 2, 8} {
+				opts := core.DefaultOptions()
+				opts.Seed = 1
+				opts.Workers = workers
+				flatHash, flatCDG := routeHashed(t, tc, opts)
+
+				opts.LegacyCore = true
+				legacyHash, legacyCDG := routeHashed(t, tc, opts)
+
+				if flatHash != legacyHash {
+					t.Fatalf("workers=%d: flat table hash %#016x != legacy %#016x",
+						workers, flatHash, legacyHash)
+				}
+				if len(flatCDG) != len(legacyCDG) {
+					t.Fatalf("workers=%d: layer counts differ: %d vs %d",
+						workers, len(flatCDG), len(legacyCDG))
+				}
+				for l := range flatCDG {
+					if flatCDG[l] != legacyCDG[l] {
+						t.Fatalf("workers=%d layer %d: flat CDG digest %#016x != legacy %#016x",
+							workers, l, flatCDG[l], legacyCDG[l])
+					}
+				}
+				if workers == 1 {
+					goldenHash, goldenCDG = flatHash, flatCDG
+					continue
+				}
+				if flatHash != goldenHash {
+					t.Fatalf("workers=%d: hash %#016x != workers=1 golden %#016x",
+						workers, flatHash, goldenHash)
+				}
+				for l := range flatCDG {
+					if flatCDG[l] != goldenCDG[l] {
+						t.Fatalf("workers=%d layer %d: CDG digest diverges from workers=1", workers, l)
+					}
+				}
+			}
+		})
+	}
+}

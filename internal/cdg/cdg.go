@@ -22,6 +22,7 @@ package cdg
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -69,11 +70,32 @@ type Graph struct {
 	chOmega []int32 // per channel: 0 unused, >=1 subgraph id
 	edOmega []int32 // per edge: -1 blocked, 0 unused, >=1 subgraph id
 
+	// Used-edge adjacency: a linked list per channel over the edges that
+	// entered the used state, so the cycle search of condition (d) walks
+	// only used edges instead of filtering ALL successors. usedHead[c] is
+	// the first list cell of channel c (-1 empty); cell i continues at
+	// usedNext[i] and targets channel usedTo[i]. Append-only except for
+	// the naive engine's mark-then-revert, which pops the head it pushed.
+	usedHead []int32
+	usedNext []int32
+	usedTo   []graph.ChannelID
+
+	// lvl is an incremental pseudo-topological leveling of the used
+	// subgraph (Katriel & Bodlaender's online topological ordering):
+	// every used edge (u,v) keeps lvl[u] < lvl[v]. A condition-(d)
+	// insertion that already agrees with the levels is an O(1) accept —
+	// reachability cq -> cp would force lvl[cq] < lvl[cp] — and a
+	// disagreeing one runs a reachability probe restricted to the level
+	// window, then lifts downstream levels. Levels only ever grow. The
+	// naive ablation engine never consults or maintains them.
+	lvl []int32
+
 	// Union-find over subgraph IDs (index 0 unused).
 	dsuParent []int32
 	dsuSize   []int32
 
-	// DFS scratch.
+	// Search scratch. epoch persists across arena reuse so visited never
+	// needs clearing: stale entries hold strictly older epochs.
 	visited []int32
 	epoch   int32
 	stack   []graph.ChannelID
@@ -91,50 +113,103 @@ type Graph struct {
 	Naive bool
 }
 
+// pool recycles Graphs between layers and repair attempts: the per-layer
+// complete CDG is by far the largest transient allocation of a routing
+// run (O(|C| + |CDG edges|) across ~10 slices), and fabric repairs
+// rebuild it per attempt. Releasing a Graph back here makes the rebuild
+// allocation-free once the arena has warmed up.
+var pool = sync.Pool{New: func() any { return new(Graph) }}
+
+// grow32 resizes s to n elements, reusing its backing array when the
+// capacity allows. Contents are unspecified; callers overwrite or clear.
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
 // NewComplete builds the complete CDG of one virtual layer of net,
 // Definition 6. Failed channels get no adjacency (they are unreachable
-// vertices).
+// vertices). The Graph is drawn from an internal arena pool; callers on
+// hot paths should hand it back with Release when done.
 func NewComplete(net *graph.Network) *Graph {
 	nc := net.NumChannels()
-	g := &Graph{
-		net:       net,
-		start:     make([]int32, nc+1),
-		chOmega:   make([]int32, nc),
-		visited:   make([]int32, nc),
-		dsuParent: make([]int32, 1, 64),
-		dsuSize:   make([]int32, 1, 64),
+	csr := net.CSRView()
+	g := pool.Get().(*Graph)
+	g.net = net
+	g.start = grow32(g.start, nc+1)
+	g.chOmega = grow32(g.chOmega, nc)
+	clear(g.chOmega)
+	g.usedHead = grow32(g.usedHead, nc)
+	for i := range g.usedHead {
+		g.usedHead[i] = -1
 	}
+	g.usedNext = g.usedNext[:0]
+	g.usedTo = g.usedTo[:0]
+	g.lvl = grow32(g.lvl, nc)
+	clear(g.lvl)
+	// visited carries stale epochs from previous uses; epoch strictly
+	// increases across reuse, so stale entries can never match. Only a
+	// grown region needs defined values (grow32's fresh arrays are zero).
+	if cap(g.visited) < nc {
+		g.visited = make([]int32, nc)
+		g.epoch = 0
+	} else {
+		g.visited = g.visited[:nc]
+	}
+	g.dsuParent = append(g.dsuParent[:0], 0)
+	g.dsuSize = append(g.dsuSize[:0], 0)
+	g.stack = g.stack[:0]
+	g.CycleSearches, g.EdgesBlocked, g.Merges, g.EdgeUses = 0, 0, 0, 0
+	g.Naive = false
+
 	// Count successors first.
+	g.start[0] = 0
 	total := 0
 	for c := 0; c < nc; c++ {
-		ch := net.Channel(graph.ChannelID(c))
-		if ch.Failed {
+		if csr.Failed[c] {
 			g.start[c+1] = g.start[c]
 			continue
 		}
+		from := csr.From[c]
 		cnt := 0
-		for _, nxt := range net.Out(ch.To) {
-			if net.Channel(nxt).To != ch.From {
+		for _, nxt := range csr.Out(csr.To[c]) {
+			if csr.To[nxt] != from {
 				cnt++
 			}
 		}
 		g.start[c+1] = g.start[c] + int32(cnt)
 		total += cnt
 	}
-	g.succ = make([]graph.ChannelID, 0, total)
+	if cap(g.succ) < total {
+		g.succ = make([]graph.ChannelID, 0, total)
+	} else {
+		g.succ = g.succ[:0]
+	}
 	for c := 0; c < nc; c++ {
-		ch := net.Channel(graph.ChannelID(c))
-		if ch.Failed {
+		if csr.Failed[c] {
 			continue
 		}
-		for _, nxt := range net.Out(ch.To) {
-			if net.Channel(nxt).To != ch.From {
+		from := csr.From[c]
+		for _, nxt := range csr.Out(csr.To[c]) {
+			if csr.To[nxt] != from {
 				g.succ = append(g.succ, nxt)
 			}
 		}
 	}
-	g.edOmega = make([]int32, len(g.succ))
+	g.edOmega = grow32(g.edOmega, len(g.succ))
+	clear(g.edOmega)
 	return g
+}
+
+// Release hands the Graph's arenas back to the pool for reuse by the
+// next NewComplete. The Graph must not be used afterwards. Callers that
+// retain a CDG beyond the routing run (e.g. for inspection) simply skip
+// Release and let the garbage collector take it.
+func (g *Graph) Release() {
+	g.net = nil
+	pool.Put(g)
 }
 
 // Net returns the underlying network.
@@ -225,6 +300,15 @@ func (g *Graph) SameGroup(a, b graph.ChannelID) bool {
 	return g.find(g.chOmega[a]) == g.find(g.chOmega[b])
 }
 
+// markEdgeUsed records (cp, cq) in the used-edge adjacency. Must be
+// called exactly once per edge transitioning into the used state, at
+// every site that writes a positive edOmega.
+func (g *Graph) markEdgeUsed(cp, cq graph.ChannelID) {
+	g.usedNext = append(g.usedNext, g.usedHead[cp])
+	g.usedTo = append(g.usedTo, cq)
+	g.usedHead[cp] = int32(len(g.usedTo) - 1)
+}
+
 // SeedChannel puts channel c into the used state. If it was unused it
 // becomes its own fresh acyclic subgraph (the start of a new routing
 // step, cf. Fig. 6a). The group id is returned.
@@ -269,9 +353,12 @@ func (g *Graph) TryUseEdgeByID(e int32, cp, cq graph.ChannelID) bool {
 	gp = g.find(gp)
 	gq := g.chOmega[cq]
 	if gq == omegaUnused {
-		// Condition (c), trivial case: cq joins cp's subgraph.
+		// Condition (c), trivial case: cq joins cp's subgraph. No cycle
+		// is possible, but the topological order still has to absorb the
+		// new edge.
 		g.chOmega[cq] = gp
 		g.edOmega[e] = gp
+		g.mustAddEdge(cp, cq)
 		return true
 	}
 	gq = g.find(gq)
@@ -280,12 +367,15 @@ func (g *Graph) TryUseEdgeByID(e int32, cp, cq graph.ChannelID) bool {
 		// subgraphs; merging them cannot close a cycle.
 		r := g.union(gp, gq)
 		g.edOmega[e] = r
+		g.mustAddEdge(cp, cq)
 		return true
 	}
-	// Condition (d): both endpoints in the same subgraph; a depth-first
-	// search from cq for cp decides.
+	// Condition (d): both endpoints in the same subgraph; this is the one
+	// case Algorithm 3 resolves with a cycle search. The incremental
+	// topological order answers it — often in O(1), when the candidate
+	// edge already agrees with the current leveling.
 	g.CycleSearches++
-	if g.dfsFinds(cq, cp) {
+	if !g.addEdgeChecked(cp, cq) {
 		g.edOmega[e] = omegaBlocked
 		g.EdgesBlocked++
 		return false
@@ -309,6 +399,7 @@ func (g *Graph) tryUseEdgeNaive(e int32, cp, cq graph.ChannelID) bool {
 		g.union(gp, g.find(prevQ))
 	}
 	g.edOmega[e] = gp
+	g.markEdgeUsed(cp, cq)
 	g.CycleSearches++
 	if g.UsedAcyclic() {
 		return true
@@ -318,32 +409,97 @@ func (g *Graph) tryUseEdgeNaive(e int32, cp, cq graph.ChannelID) bool {
 	if prevQ == omegaUnused {
 		g.chOmega[cq] = omegaUnused
 	}
+	// Pop the list cell pushed above; the edge did not stay used.
+	g.usedHead[cp] = g.usedNext[len(g.usedTo)-1]
+	g.usedNext = g.usedNext[:len(g.usedNext)-1]
+	g.usedTo = g.usedTo[:len(g.usedTo)-1]
 	return false
 }
 
-// dfsFinds reports whether target is reachable from src over used edges.
-// Used edges reachable from src all belong to src's subgraph, so no group
-// filtering is required.
-func (g *Graph) dfsFinds(src, target graph.ChannelID) bool {
-	g.epoch++
-	g.stack = g.stack[:0]
-	g.stack = append(g.stack, src)
-	g.visited[src] = g.epoch
-	for len(g.stack) > 0 {
-		c := g.stack[len(g.stack)-1]
-		g.stack = g.stack[:len(g.stack)-1]
-		if c == target {
-			return true
+// addEdgeChecked inserts the used edge (u, v) into the used-edge
+// adjacency while maintaining the level invariant lvl[u] < lvl[v] across
+// all used edges (online topological ordering in the style of Katriel
+// and Bodlaender). It reports false — leaving every structure untouched
+// — iff the edge would close a cycle. The accept/reject answer is
+// exactly "is u reachable from v over used edges", the same predicate
+// the original full DFS computed, so routing decisions (and
+// bit-identity) are unaffected; only the search cost changes.
+func (g *Graph) addEdgeChecked(u, v graph.ChannelID) bool {
+	if g.lvl[u] >= g.lvl[v] {
+		// The edge disagrees with the leveling: probe reachability inside
+		// the level window, then lift v's downstream levels.
+		if g.reaches(v, u) {
+			return false
 		}
-		base := g.start[c]
-		for i, nxt := range g.Succ(c) {
-			if g.edOmega[base+int32(i)] >= 1 && g.visited[nxt] != g.epoch {
-				g.visited[nxt] = g.epoch
-				g.stack = append(g.stack, nxt)
+		g.raise(v, g.lvl[u]+1)
+	}
+	g.markEdgeUsed(u, v)
+	return true
+}
+
+// mustAddEdge is addEdgeChecked for call sites where a cycle is
+// structurally impossible (fresh vertex, disjoint-subgraph merge, escape
+// tree): it maintains the leveling but skips the reachability probe —
+// these are the condition (c) shortcuts of Algorithm 3, which by
+// construction perform no cycle search.
+func (g *Graph) mustAddEdge(u, v graph.ChannelID) {
+	if g.lvl[u] >= g.lvl[v] {
+		g.raise(v, g.lvl[u]+1)
+	}
+	g.markEdgeUsed(u, v)
+}
+
+// reaches reports whether target is reachable from src over used edges.
+// Levels strictly increase along used edges, so every intermediate node
+// of a src -> target path has lvl < lvl[target] — the walk prunes
+// anything at or above the target's level.
+func (g *Graph) reaches(src, target graph.ChannelID) bool {
+	ub := g.lvl[target]
+	g.epoch++
+	e := g.epoch
+	stack := append(g.stack[:0], src)
+	g.visited[src] = e
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := g.usedHead[c]; i >= 0; i = g.usedNext[i] {
+			nxt := g.usedTo[i]
+			if nxt == target {
+				g.stack = stack[:0]
+				return true
+			}
+			if g.lvl[nxt] < ub && g.visited[nxt] != e {
+				g.visited[nxt] = e
+				stack = append(stack, nxt)
 			}
 		}
 	}
+	g.stack = stack[:0]
 	return false
+}
+
+// raise lifts v to at least level k and restores the invariant
+// downstream. The caller has established that the pending edge closes
+// no cycle, so the propagation terminates; levels only ever grow, which
+// amortizes the total lifting work of a layer.
+func (g *Graph) raise(v graph.ChannelID, k int32) {
+	if g.lvl[v] >= k {
+		return
+	}
+	g.lvl[v] = k
+	stack := append(g.stack[:0], v)
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		lc := g.lvl[c]
+		for i := g.usedHead[c]; i >= 0; i = g.usedNext[i] {
+			if nxt := g.usedTo[i]; g.lvl[nxt] <= lc {
+				g.lvl[nxt] = lc + 1
+				stack = append(stack, nxt)
+			}
+		}
+	}
+	g.stack = stack[:0]
 }
 
 // UsedAcyclic verifies that the used subgraph of the complete CDG is
@@ -384,6 +540,42 @@ func (g *Graph) UsedAcyclic() bool {
 		}
 	}
 	return removed == usedEdges
+}
+
+// StateDigest returns an FNV-1a hash over the CDG's per-channel and
+// per-edge states (unused/used/blocked — group identities are excluded,
+// they depend on allocation order, not on the routed configuration).
+// Two CDGs of the same layer digest equal iff every vertex and edge
+// ended in the same state; the equivalence test wall uses this to prove
+// the flat and legacy routing cores drive the CDG identically.
+func (g *Graph) StateDigest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, w := range g.chOmega {
+		if w >= 1 {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	}
+	for _, w := range g.edOmega {
+		switch {
+		case w == omegaBlocked:
+			mix(2)
+		case w >= 1:
+			mix(1)
+		default:
+			mix(0)
+		}
+	}
+	return h
 }
 
 // UsedChannels returns the number of channels in the used state.

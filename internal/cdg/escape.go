@@ -98,6 +98,7 @@ func (g *Graph) MarkEscapePaths(tree *graph.Tree, dests []graph.NodeID) *EscapeP
 				continue
 			}
 			g.edOmega[base+int32(i)] = ep.Group
+			g.mustAddEdge(cp, cq)
 			ep.Deps++
 		}
 	}

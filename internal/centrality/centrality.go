@@ -23,6 +23,7 @@ func ConvexSubgraph(g *graph.Network, dests []graph.NodeID) []graph.NodeID {
 		inHull[d] = true
 	}
 	marked := make([]bool, g.NumNodes())
+	csr := g.CSRView()
 	for _, d := range dests {
 		res := graph.BFS(g, d)
 		// Backward sweep: a node lies on a shortest path from d to some
@@ -42,8 +43,8 @@ func ConvexSubgraph(g *graph.Network, dests []graph.NodeID) []graph.NodeID {
 			}
 			// Mark all predecessors on shortest paths (neighbors one hop
 			// closer to d).
-			for _, c := range g.In(n) {
-				p := g.Channel(c).From
+			for _, c := range csr.In(n) {
+				p := csr.From[c]
 				if res.Dist[p] == res.Dist[n]-1 {
 					marked[p] = true
 				}
@@ -101,9 +102,11 @@ func newBrandesScratch(n int) *brandesScratch {
 }
 
 // oneSource runs the single-source phase of Brandes' algorithm from src
-// and accumulates the dependencies into sc.partial.
-func (sc *brandesScratch) oneSource(g *graph.Network, in []bool, src graph.NodeID) {
-	n := g.NumNodes()
+// and accumulates the dependencies into sc.partial. The adjacency walk
+// runs on the flat CSR view (PR 8); iteration order matches Network.Out,
+// so the shard sums — and the final centralities — are unchanged.
+func (sc *brandesScratch) oneSource(csr *graph.CSR, in []bool, src graph.NodeID) {
+	n := csr.NumNodes()
 	// Single-source shortest path counting (BFS).
 	sc.order = sc.order[:0]
 	for i := 0; i < n; i++ {
@@ -118,8 +121,8 @@ func (sc *brandesScratch) oneSource(g *graph.Network, in []bool, src graph.NodeI
 	for head := 0; head < len(sc.order); head++ {
 		u := sc.order[head]
 		sc.epoch++
-		for _, c := range g.Out(u) {
-			v := g.Channel(c).To
+		for _, c := range csr.Out(u) {
+			v := csr.To[c]
 			if !in[v] || sc.seenNeighbor[v] == sc.epoch {
 				continue // skip parallel channels to the same neighbor
 			}
@@ -169,6 +172,7 @@ func BetweennessN(g *graph.Network, sub []graph.NodeID, workers int) []float64 {
 		}
 	}
 	cb := make([]float64, n)
+	csr := g.CSRView()
 	numShards := (len(srcs) + betweennessShard - 1) / betweennessShard
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -187,7 +191,7 @@ func BetweennessN(g *graph.Network, sub []graph.NodeID, workers int) []float64 {
 			hi = len(srcs)
 		}
 		for _, src := range srcs[lo:hi] {
-			sc.oneSource(g, in, src)
+			sc.oneSource(csr, in, src)
 		}
 	}
 	commit := func(sc *brandesScratch) {

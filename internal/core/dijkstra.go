@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/cdg"
+	"repro/internal/dial"
 	"repro/internal/fibheap"
 	"repro/internal/graph"
 )
@@ -18,6 +19,12 @@ type layerState struct {
 	d    *cdg.Graph
 	tree *graph.Tree
 	opts Options
+
+	// csr is the flat adjacency view the hot path walks; nil in legacy
+	// mode (Options.LegacyCore), where channel attributes go through the
+	// Network methods instead. Both views observe identical adjacency in
+	// identical order, so routing output does not depend on the mode.
+	csr *graph.CSR
 
 	// weight is the Dijkstra weight of every channel, updated after each
 	// destination to balance paths (DFSSSP-style). Weights live on the
@@ -40,15 +47,98 @@ type layerState struct {
 	// into v — the backtracking stack of §4.6.2.
 	altStack [][]graph.ChannelID
 
-	heap *fibheap.Heap
+	// The Dijkstra priority queue: a monotone bucket (dial) queue when the
+	// layer's weight regime admits one — Nue's hop weights start at 1 and
+	// only grow, so it always does unless LegacyCore forces the Fibonacci
+	// heap. Both implement the same lexicographic (key, item) extraction
+	// order and therefore pop identical sequences (DESIGN.md §15).
+	useDial bool
+	heap    *fibheap.Heap
+	dq      *dial.Queue
 
 	// byDistScratch and cntScratch are reused across weight updates;
-	// islandScratch across island scans.
+	// islandScratch across island scans; orderScratch and seenScratch
+	// across escape-fallback table fills.
 	byDistScratch []graph.NodeID
 	cntScratch    []int32
 	islandScratch []graph.NodeID
+	orderScratch  []graph.NodeID
+	seenScratch   []bool
 
 	stats *Stats
+}
+
+// Channel-attribute accessors: CSR arrays on the flat path, Network
+// methods in legacy mode. The branches are perfectly predicted (csr is
+// fixed per layer), so the flat path pays nothing for keeping legacy
+// alive as an equivalence foil.
+
+func (ls *layerState) chTo(c graph.ChannelID) graph.NodeID {
+	if ls.csr != nil {
+		return ls.csr.To[c]
+	}
+	return ls.net.Channel(c).To
+}
+
+func (ls *layerState) chFrom(c graph.ChannelID) graph.NodeID {
+	if ls.csr != nil {
+		return ls.csr.From[c]
+	}
+	return ls.net.Channel(c).From
+}
+
+func (ls *layerState) outCh(n graph.NodeID) []graph.ChannelID {
+	if ls.csr != nil {
+		return ls.csr.Out(n)
+	}
+	return ls.net.Out(n)
+}
+
+func (ls *layerState) inCh(n graph.NodeID) []graph.ChannelID {
+	if ls.csr != nil {
+		return ls.csr.In(n)
+	}
+	return ls.net.In(n)
+}
+
+// Priority-queue indirection over the selected implementation.
+
+func (ls *layerState) pqReset() {
+	if ls.useDial {
+		ls.dq.Reset()
+	} else {
+		ls.heap.Reset()
+	}
+}
+
+func (ls *layerState) pqInsert(item int, key float64) {
+	if ls.useDial {
+		ls.dq.Insert(item, key)
+	} else {
+		ls.heap.Insert(item, key)
+	}
+}
+
+func (ls *layerState) pqInsertOrDecrease(item int, key float64) {
+	if ls.useDial {
+		ls.dq.InsertOrDecrease(item, key)
+	} else {
+		ls.heap.InsertOrDecrease(item, key)
+	}
+}
+
+func (ls *layerState) pqExtractMin() (int, bool) {
+	if ls.useDial {
+		return ls.dq.ExtractMin()
+	}
+	return ls.heap.ExtractMin()
+}
+
+func (ls *layerState) pqContains(item int) bool {
+	if ls.useDial {
+		return ls.dq.Contains(item)
+	}
+	return ls.heap.Contains(item)
 }
 
 // Stats aggregates counters across a Nue run.
@@ -98,10 +188,30 @@ func newLayerState(net *graph.Network, d *cdg.Graph, tree *graph.Tree, opts Opti
 	ls.popped = growBools(ls.popped, nn)
 	ls.children = growChannelLists(ls.children, nn)
 	ls.altStack = growChannelLists(ls.altStack, nn)
-	if ls.heap == nil || ls.heap.Cap() < nc {
-		ls.heap = fibheap.New(nc)
+	if opts.LegacyCore {
+		ls.csr = nil
 	} else {
-		ls.heap.Reset()
+		ls.csr = net.CSRView()
+	}
+	// Queue selection: Nue's balancing weights start at 1 and only ever
+	// grow (updateWeights adds non-negative increments), so the dial
+	// queue's monotonicity precondition — minimum edge weight >= 1 —
+	// holds for every layer. The check is kept explicit so a future
+	// weight regime outside the dial contract falls back to the heap
+	// automatically rather than corrupting extraction order.
+	ls.useDial = !opts.LegacyCore && dial.Serves(1)
+	if ls.useDial {
+		if ls.dq == nil || ls.dq.Cap() < nc {
+			ls.dq = dial.New(nc)
+		} else {
+			ls.dq.Reset()
+		}
+	} else {
+		if ls.heap == nil || ls.heap.Cap() < nc {
+			ls.heap = fibheap.New(nc)
+		} else {
+			ls.heap.Reset()
+		}
 	}
 	ls.byDistScratch = ls.byDistScratch[:0]
 	if cap(ls.cntScratch) < nn {
@@ -120,6 +230,7 @@ func newLayerState(net *graph.Network, d *cdg.Graph, tree *graph.Tree, opts Opti
 func (ls *layerState) release() {
 	ls.net, ls.d, ls.tree, ls.stats = nil, nil, nil, nil
 	ls.isSource = nil
+	ls.csr = nil
 	layerStatePool.Put(ls)
 }
 
@@ -162,7 +273,7 @@ func (ls *layerState) resetDest() {
 	for i := range ls.chDist {
 		ls.chDist[i] = math.Inf(1)
 	}
-	ls.heap.Reset()
+	ls.pqReset()
 }
 
 // routeDest computes the deadlock-free paths from every node toward dest
@@ -178,8 +289,8 @@ func (ls *layerState) routeDest(dest graph.NodeID) (parent []graph.ChannelID, fe
 	ls.nodeDist[dest] = 0
 	// Seed: the out-channels of dest play the role of the fake channel
 	// c_0 (switch) or the unique channel (terminal) of Algorithm 1.
-	for _, c := range ls.net.Out(dest) {
-		v := ls.net.Channel(c).To
+	for _, c := range ls.outCh(dest) {
+		v := ls.chTo(c)
 		nd := ls.weight[c]
 		if nd >= ls.nodeDist[v] {
 			continue
@@ -218,12 +329,12 @@ func (ls *layerState) routeDest(dest graph.NodeID) (parent []graph.ChannelID, fe
 // drainHeap runs the main loop of Algorithm 1.
 func (ls *layerState) drainHeap() {
 	for {
-		item, ok := ls.heap.ExtractMin()
+		item, ok := ls.pqExtractMin()
 		if !ok {
 			return
 		}
 		cp := graph.ChannelID(item)
-		v := ls.net.Channel(cp).To
+		v := ls.chTo(cp)
 		if ls.usedChannel[v] != cp {
 			continue // stale entry; v was re-reached over a better channel
 		}
@@ -252,7 +363,7 @@ func (ls *layerState) relaxFrom(cp graph.ChannelID) {
 // the child re-check that keeps already-routed subtrees consistent when a
 // settled node is improved through a former island (§4.6.3 shortcuts).
 func (ls *layerState) tryAccept(cp graph.ChannelID, e int32, cq graph.ChannelID) bool {
-	v := ls.net.Channel(cq).To
+	v := ls.chTo(cq)
 	nd := ls.chDist[cp] + ls.weight[cq]
 	if nd >= ls.nodeDist[v] {
 		return false
@@ -288,7 +399,7 @@ func (ls *layerState) recheckChildren(cq graph.ChannelID, v graph.NodeID) bool {
 	valid := kids[:0]
 	ok := true
 	for _, cx := range kids {
-		if ls.usedChannel[ls.net.Channel(cx).To] != cx {
+		if ls.usedChannel[ls.chTo(cx)] != cx {
 			continue // no longer a tree child
 		}
 		valid = append(valid, cx)
@@ -319,8 +430,8 @@ func (ls *layerState) commit(cq graph.ChannelID, v graph.NodeID, nd float64) {
 	ls.usedChannel[v] = cq
 	ls.nodeDist[v] = nd
 	ls.chDist[cq] = nd
-	ls.heap.InsertOrDecrease(int(cq), nd)
-	u := ls.net.Channel(cq).From
+	ls.pqInsertOrDecrease(int(cq), nd)
+	u := ls.chFrom(cq)
 	ls.children[u] = append(ls.children[u], cq)
 }
 
@@ -356,8 +467,8 @@ func (ls *layerState) backtrack(v graph.NodeID) bool {
 		dist float64
 	}
 	var cands []cand
-	for _, c := range ls.net.In(v) {
-		u := ls.net.Channel(c).From
+	for _, c := range ls.inCh(v) {
+		u := ls.chFrom(c)
 		if math.IsInf(ls.nodeDist[u], 1) {
 			continue
 		}
@@ -367,7 +478,7 @@ func (ls *layerState) backtrack(v graph.NodeID) bool {
 	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].dist < cands[j].dist })
 	for _, cd := range cands {
-		u := ls.net.Channel(cd.c).From
+		u := ls.chFrom(cd.c)
 		e := ls.d.EdgeID(cd.a, cd.c)
 		if e < 0 || ls.d.EdgeState(e) == cdg.Blocked {
 			continue
@@ -384,10 +495,10 @@ func (ls *layerState) backtrack(v graph.NodeID) bool {
 			ls.altStack[u] = append(ls.altStack[u], ls.usedChannel[u])
 			ls.usedChannel[u] = cd.a
 			ls.nodeDist[u] = ls.chDist[cd.a]
-			if !ls.heap.Contains(int(cd.a)) {
+			if !ls.pqContains(int(cd.a)) {
 				// a may have been skipped as stale; give it a chance to
 				// relax its own successors again.
-				ls.heap.Insert(int(cd.a), ls.chDist[cd.a])
+				ls.pqInsert(int(cd.a), ls.chDist[cd.a])
 			}
 		}
 		ls.commit(cd.c, v, cd.dist)
@@ -431,18 +542,30 @@ func (ls *layerState) updateWeights(dest graph.NodeID, parent []graph.ChannelID)
 	for _, n := range nodes {
 		c := parent[n]
 		ls.weight[c] += float64(cnt[n]) * scale
-		cnt[ls.net.Channel(c).From] += cnt[n]
+		cnt[ls.chFrom(c)] += cnt[n]
 	}
 }
 
 // updateWeightsEscape performs the weight update for a destination that
 // fell back to the escape paths: every source's tree path contributes to
-// the recorded-orientation mirror channels.
+// the recorded-orientation mirror channels. Instead of materializing one
+// TreePath per source (which dominated the allocation profile), the
+// contributions are aggregated per tree link: the link between node x
+// and its parent lies on the path source -> dest exactly when source and
+// dest are on opposite sides of the link, and the travel direction is
+// toward whichever side holds dest. One subtree-count pass over the BFS
+// order prices every link in O(|N|) with zero allocations.
 func (ls *layerState) updateWeightsEscape(dest graph.NodeID) {
-	totalSources := 0
-	for n := 0; n < ls.net.NumNodes(); n++ {
+	tree, net := ls.tree, ls.net
+	cnt := ls.cntScratch
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	totalSources := int32(0)
+	for n := 0; n < net.NumNodes(); n++ {
 		v := graph.NodeID(n)
-		if ls.isSource[v] && v != dest && ls.tree.Dist[v] >= 0 {
+		if ls.isSource[v] && v != dest && tree.Dist[v] >= 0 {
+			cnt[v] = 1
 			totalSources++
 		}
 	}
@@ -450,13 +573,47 @@ func (ls *layerState) updateWeightsEscape(dest graph.NodeID) {
 		return
 	}
 	scale := 1.0 / float64(totalSources)
-	for n := 0; n < ls.net.NumNodes(); n++ {
-		v := graph.NodeID(n)
-		if !ls.isSource[v] || v == dest || ls.tree.Dist[v] < 0 {
-			continue
+	// cnt[x] becomes the number of sources in x's subtree (children before
+	// parents in reverse BFS order).
+	for i := len(tree.Order) - 1; i >= 1; i-- {
+		x := tree.Order[i]
+		if p := tree.ParentNode(x); p != graph.NoNode {
+			cnt[p] += cnt[x]
 		}
-		for _, c := range ls.tree.TreePath(v, dest) {
-			ls.weight[ls.net.Channel(c).Reverse] += scale
+	}
+	// Walk dest's ancestor chain so destSide can be answered per node.
+	// seenScratch[x] marks x as an ancestor-or-self of dest.
+	seen := ls.seenScratch
+	if cap(seen) < net.NumNodes() {
+		seen = make([]bool, net.NumNodes())
+		ls.seenScratch = seen
+	} else {
+		seen = seen[:net.NumNodes()]
+		for i := range seen {
+			seen[i] = false
+		}
+	}
+	for x := dest; x != graph.NoNode; x = tree.ParentNode(x) {
+		seen[x] = true
+	}
+	for i := 1; i < len(tree.Order); i++ {
+		x := tree.Order[i]
+		down := tree.Parent[x] // channel (parent(x), x)
+		destBelow := seen[x]   // dest inside x's subtree?
+		var uses int32
+		var traveled graph.ChannelID
+		if destBelow {
+			// Sources outside the subtree travel parent -> x over `down`.
+			uses = totalSources - cnt[x]
+			traveled = down
+		} else {
+			// Sources inside the subtree travel x -> parent over the
+			// reverse of `down`.
+			uses = cnt[x]
+			traveled = net.Channel(down).Reverse
+		}
+		if uses > 0 {
+			ls.weight[net.Channel(traveled).Reverse] += float64(uses) * scale
 		}
 	}
 }

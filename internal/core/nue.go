@@ -48,6 +48,13 @@ type Options struct {
 	// NaiveCycleSearch disables the ω-numbering optimization (§4.6.1)
 	// and runs a full acyclicity check per edge use; for ablation only.
 	NaiveCycleSearch bool
+	// LegacyCore routes over the legacy Network-method adjacency with the
+	// Fibonacci heap instead of the flat CSR view with the dial queue.
+	// Output is bit-identical to the default flat path — both queues
+	// implement the same (key, item) extraction order and both adjacency
+	// views iterate identically (DESIGN.md §15) — so this exists for the
+	// equivalence test wall and ablation, not as a feature toggle.
+	LegacyCore bool
 	// Workers bounds the number of OS threads the engine uses: virtual
 	// layers are routed by a pool of at most Workers goroutines, and the
 	// betweenness pass for escape roots shards its sources over the same
@@ -143,6 +150,7 @@ func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*rout
 	// streams do not depend on scheduling order.
 	layerStats := make([]Stats, len(parts))
 	layerErrs := make([]error, len(parts))
+	layerCDG := make([]uint64, len(parts))
 	layerSeeds := make([]int64, len(parts))
 	for li := range parts {
 		layerSeeds[li] = rng.Int63()
@@ -160,7 +168,7 @@ func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*rout
 	}
 	routeOne := func(li int) {
 		lrng := rand.New(rand.NewSource(layerSeeds[li]))
-		layerErrs[li] = n.routeLayer(net, table, destLayer, uint8(li), parts[li],
+		layerErrs[li] = n.routeLayer(net, table, destLayer, layerCDG, uint8(li), parts[li],
 			isSource, &layerStats[li], lrng, bwWorkers)
 	}
 	if workers > 1 {
@@ -211,6 +219,7 @@ func (n *Nue) Route(net *graph.Network, dests []graph.NodeID, maxVCs int) (*rout
 		Table:     table,
 		VCs:       len(parts),
 		DestLayer: destLayer,
+		LayerCDG:  layerCDG,
 		Stats: map[string]float64{
 			"escape_fallbacks": float64(stats.EscapeFallbacks),
 			"islands_resolved": float64(stats.IslandsResolved),
@@ -240,8 +249,8 @@ func (s *Stats) report(tm *telemetry.EngineMetrics) {
 
 // routeLayer runs lines 3-11 of Algorithm 2 for one virtual layer.
 // bwWorkers is the betweenness worker budget for the escape-root search.
-func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []uint8, layer uint8,
-	part []graph.NodeID, isSource []bool, stats *Stats, rng *rand.Rand, bwWorkers int) error {
+func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []uint8, layerCDG []uint64,
+	layer uint8, part []graph.NodeID, isSource []bool, stats *Stats, rng *rand.Rand, bwWorkers int) error {
 
 	tm := n.opts.Telemetry
 	var phaseStart time.Time
@@ -265,6 +274,7 @@ func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []u
 		}
 	}
 	d := cdg.NewComplete(net)
+	defer d.Release()
 	d.Naive = n.opts.NaiveCycleSearch
 	ep := d.MarkEscapePaths(tree, part)
 	stats.EscapeDeps += ep.Deps
@@ -278,7 +288,7 @@ func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []u
 		destLayer[table.DestIndex(dest)] = layer
 		parent, fellBack := ls.routeDest(dest)
 		if fellBack {
-			fillTableFromTree(net, table, tree, dest)
+			ls.fillTableFromTree(table, dest)
 			ls.updateWeightsEscape(dest)
 			continue
 		}
@@ -313,6 +323,7 @@ func (n *Nue) routeLayer(net *graph.Network, table *routing.Table, destLayer []u
 		// Cannot happen if the CDG machinery is correct; guard anyway.
 		return errors.New("internal error: used CDG became cyclic")
 	}
+	layerCDG[layer] = d.StateDigest()
 	return nil
 }
 
@@ -357,19 +368,29 @@ func (n *Nue) sourceMask(net *graph.Network) []bool {
 
 // fillTableFromTree routes every node toward dest over the spanning tree
 // (escape-path fallback). A BFS over tree channels from dest yields each
-// node's parent-toward-dest in O(|N|).
-func fillTableFromTree(net *graph.Network, table *routing.Table, tree *graph.Tree, dest graph.NodeID) {
-	// parentToward[v] = first channel of the tree path v -> dest.
-	order := []graph.NodeID{dest}
-	visited := make([]bool, net.NumNodes())
+// node's parent-toward-dest in O(|N|); the traversal runs on the layer's
+// scratch so frequent fallbacks do not allocate.
+func (ls *layerState) fillTableFromTree(table *routing.Table, dest graph.NodeID) {
+	net, tree := ls.net, ls.tree
+	visited := ls.seenScratch
+	if cap(visited) < net.NumNodes() {
+		visited = make([]bool, net.NumNodes())
+		ls.seenScratch = visited
+	} else {
+		visited = visited[:net.NumNodes()]
+		for i := range visited {
+			visited[i] = false
+		}
+	}
+	order := append(ls.orderScratch[:0], dest)
 	visited[dest] = true
 	for head := 0; head < len(order); head++ {
 		u := order[head]
-		for _, c := range net.Out(u) {
+		for _, c := range ls.outCh(u) {
 			if !tree.IsTreeChannel(c) {
 				continue
 			}
-			v := net.Channel(c).To
+			v := ls.chTo(c)
 			if visited[v] {
 				continue
 			}
@@ -380,4 +401,5 @@ func fillTableFromTree(net *graph.Network, table *routing.Table, tree *graph.Tre
 			order = append(order, v)
 		}
 	}
+	ls.orderScratch = order[:0]
 }

@@ -130,6 +130,7 @@ func (n *Nue) RepairLayer(req RepairRequest) (*RepairStats, error) {
 func (n *Nue) repairAttempt(req RepairRequest, tree *graph.Tree, routable []graph.NodeID, stats *RepairStats, escape bool) (ok bool, err error) {
 	net := req.Net
 	d := cdg.NewComplete(net)
+	defer d.Release()
 	d.Naive = n.opts.NaiveCycleSearch
 	if escape {
 		ep := d.MarkEscapePaths(tree, routable)
@@ -163,7 +164,7 @@ func (n *Nue) repairAttempt(req RepairRequest, tree *graph.Tree, routable []grap
 			if !escape {
 				return false, nil // needs the escape paths; retry with them
 			}
-			fillTableFromTree(net, req.Table, tree, dest)
+			ls.fillTableFromTree(req.Table, dest)
 			ls.updateWeightsEscape(dest)
 			stats.Routed++
 			continue

@@ -5,6 +5,13 @@
 //
 // Items are small non-negative integers (channel IDs); the heap keeps a
 // dense handle table so callers never manage node pointers.
+//
+// Extraction order contract: ExtractMin removes the minimum under the
+// LEXICOGRAPHIC order (key, item) — among equal keys, the smaller item
+// pops first. This is the documented tie-break every priority queue of
+// the routing core implements (the dial queue of internal/dial pops the
+// identical sequence for any Dijkstra-monotone workload), which is what
+// makes flat-core and legacy routing bit-identical; see DESIGN.md §15.
 package fibheap
 
 import "math"
@@ -28,6 +35,17 @@ type Heap struct {
 	handle  []*node // item -> node, nil if absent
 	free    []*node // recycled nodes (hot loops insert/extract millions)
 	scratch []*node // traversal stack reused by Reset
+	buckets []*node // degree buckets reused by consolidate
+}
+
+// less is the documented total extraction order: key first, item as the
+// tie-break. Items are unique, so this is a strict total order and the
+// heap's minimum is always a single well-defined node.
+func less(a, b *node) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.item < b.item
 }
 
 // slabSize is the number of nodes allocated at once when the free list
@@ -93,7 +111,7 @@ func (h *Heap) addToRoots(nd *node) {
 	nd.right = h.min.right
 	h.min.right.left = nd
 	h.min.right = nd
-	if nd.key < h.min.key {
+	if less(nd, h.min) {
 		h.min = nd
 	}
 }
@@ -151,7 +169,13 @@ func (h *Heap) ExtractMin() (int, bool) {
 // consolidate links roots of equal degree until all degrees are unique.
 func (h *Heap) consolidate() {
 	maxDeg := int(math.Log2(float64(h.n)))*2 + 3
-	buckets := make([]*node, maxDeg)
+	if cap(h.buckets) < maxDeg {
+		h.buckets = make([]*node, maxDeg)
+	}
+	buckets := h.buckets[:maxDeg]
+	for i := range buckets {
+		buckets[i] = nil
+	}
 
 	// Collect the root list first; it is mutated while linking.
 	var roots []*node
@@ -167,7 +191,7 @@ func (h *Heap) consolidate() {
 		d := x.degree
 		for buckets[d] != nil {
 			y := buckets[d]
-			if y.key < x.key {
+			if less(y, x) {
 				x, y = y, x
 			}
 			h.link(y, x)
@@ -187,7 +211,8 @@ func (h *Heap) consolidate() {
 	}
 }
 
-// link makes y a child of x (both were roots, key(x) <= key(y)).
+// link makes y a child of x (both were roots, x before y in the
+// extraction order).
 func (h *Heap) link(y, x *node) {
 	// Remove y from root list.
 	y.left.right = y.right
@@ -219,11 +244,11 @@ func (h *Heap) DecreaseKey(item int, key float64) {
 	}
 	nd.key = key
 	p := nd.parent
-	if p != nil && nd.key < p.key {
+	if p != nil && less(nd, p) {
 		h.cut(nd, p)
 		h.cascadingCut(p)
 	}
-	if nd.key < h.min.key {
+	if less(nd, h.min) {
 		h.min = nd
 	}
 }

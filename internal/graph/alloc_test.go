@@ -1,0 +1,50 @@
+package graph
+
+import "testing"
+
+// TestCloneAllocsConstant pins the flat Clone (PR 8 satellite): the
+// per-node adjacency lists are carved from two shared backing arrays, so
+// a deep copy costs a constant number of allocations regardless of node
+// count — the repair path clones per churn event, and O(nodes) slice
+// headers per event was the dominant clone cost before the rewrite.
+func TestCloneAllocsConstant(t *testing.T) {
+	for _, n := range []int{8, 64, 256} {
+		g := buildRing(t, n)
+		allocs := testing.AllocsPerRun(20, func() {
+			_ = g.Clone()
+		})
+		// Exactly 7 today (struct, nodes, channels, out, in, two backing
+		// arrays); 10 leaves headroom for runtime variance without letting
+		// an O(nodes) regression back in.
+		if allocs > 10 {
+			t.Errorf("ring-%d: Clone did %.0f allocs, want <= 10 (O(1), not O(nodes))", n, allocs)
+		}
+	}
+}
+
+// TestCSRViewCached asserts the flat adjacency view is built once and
+// served from the cache: repeated CSRView calls on an unmutated network
+// must not allocate.
+func TestCSRViewCached(t *testing.T) {
+	g := buildRing(t, 32)
+	first := g.CSRView()
+	allocs := testing.AllocsPerRun(20, func() {
+		if g.CSRView() != first {
+			t.Fatal("CSRView returned a different view without a mutation")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("cached CSRView did %.0f allocs per call, want 0", allocs)
+	}
+	// A mutation must invalidate the cache...
+	c := g.Out(0)[0]
+	g.SetChannelFailed(c, true)
+	second := g.CSRView()
+	if second == first {
+		t.Fatal("CSRView cache survived SetChannelFailed")
+	}
+	// ...and the rebuilt view must reflect it.
+	if !second.Failed[c] {
+		t.Error("rebuilt CSR does not mark the failed channel")
+	}
+}

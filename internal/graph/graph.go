@@ -11,6 +11,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // NodeID identifies a node (switch or terminal) in a Network. IDs are dense
@@ -83,6 +84,10 @@ type Network struct {
 
 	numSwitches  int
 	numTerminals int
+
+	// csr caches the flat CSR adjacency view (see csr.go); nil until the
+	// first CSRView call, dropped by adjacency mutations.
+	csr atomic.Pointer[CSR]
 }
 
 // NumNodes returns the total number of nodes (switches + terminals).
@@ -274,11 +279,40 @@ func (b *Builder) MustBuild() *Network {
 	return g
 }
 
-// rebuildAdjacency recomputes out/in lists from non-failed channels.
+// rebuildAdjacency recomputes out/in lists from non-failed channels. All
+// per-node lists are carved out of two shared backing arrays (a counting
+// pass sizes them exactly), so a rebuild costs a constant number of
+// allocations instead of two per node. Every list is full-length capped
+// (s[i:j:j]), so a later insertSorted append reallocates that single
+// list instead of clobbering its neighbor.
 func (g *Network) rebuildAdjacency() {
-	g.out = make([][]ChannelID, len(g.nodes))
-	g.in = make([][]ChannelID, len(g.nodes))
-	for _, c := range g.channels {
+	g.invalidateCSR()
+	nn := len(g.nodes)
+	outDeg := make([]int32, nn)
+	inDeg := make([]int32, nn)
+	live := 0
+	for i := range g.channels {
+		c := &g.channels[i]
+		if c.Failed {
+			continue
+		}
+		outDeg[c.From]++
+		inDeg[c.To]++
+		live++
+	}
+	outBack := make([]ChannelID, live)
+	inBack := make([]ChannelID, live)
+	g.out = make([][]ChannelID, nn)
+	g.in = make([][]ChannelID, nn)
+	oOff, iOff := 0, 0
+	for n := 0; n < nn; n++ {
+		g.out[n] = outBack[oOff : oOff : oOff+int(outDeg[n])]
+		g.in[n] = inBack[iOff : iOff : iOff+int(inDeg[n])]
+		oOff += int(outDeg[n])
+		iOff += int(inDeg[n])
+	}
+	for i := range g.channels {
+		c := &g.channels[i]
 		if c.Failed {
 			continue
 		}
@@ -307,6 +341,11 @@ func (g *Network) rebuildAdjacency() {
 // Clone returns a deep copy of g. The copy shares nothing with the
 // original, so it may be mutated (SetChannelFailed) while readers keep
 // using g — the basis of the fabric manager's copy-on-write snapshots.
+// All per-node adjacency lists are copied into two shared backing arrays
+// (each carved slice full-length capped so incremental inserts reallocate
+// only the touched list), keeping a clone at a constant number of
+// allocations: the repair path clones per churn event, and O(nodes)
+// little slice headers per event was the dominant clone cost.
 func (g *Network) Clone() *Network {
 	ng := &Network{
 		nodes:        append([]Node(nil), g.nodes...),
@@ -316,9 +355,20 @@ func (g *Network) Clone() *Network {
 		numSwitches:  g.numSwitches,
 		numTerminals: g.numTerminals,
 	}
+	outTotal, inTotal := 0, 0
 	for n := range g.out {
-		ng.out[n] = append([]ChannelID(nil), g.out[n]...)
-		ng.in[n] = append([]ChannelID(nil), g.in[n]...)
+		outTotal += len(g.out[n])
+		inTotal += len(g.in[n])
+	}
+	outBack := make([]ChannelID, 0, outTotal)
+	inBack := make([]ChannelID, 0, inTotal)
+	for n := range g.out {
+		o := len(outBack)
+		outBack = append(outBack, g.out[n]...)
+		ng.out[n] = outBack[o:len(outBack):len(outBack)]
+		i := len(inBack)
+		inBack = append(inBack, g.in[n]...)
+		ng.in[n] = inBack[i:len(inBack):len(inBack)]
 	}
 	return ng
 }
@@ -332,6 +382,7 @@ func (g *Network) SetChannelFailed(c ChannelID, failed bool) bool {
 	if g.channels[c].Failed == failed {
 		return false
 	}
+	g.invalidateCSR()
 	for _, id := range [2]ChannelID{c, g.channels[c].Reverse} {
 		ch := &g.channels[id]
 		ch.Failed = failed
@@ -370,6 +421,7 @@ func (g *Network) SetHalfFailed(c ChannelID, failed bool) bool {
 	if g.channels[c].Failed == failed {
 		return false
 	}
+	g.invalidateCSR()
 	ch := &g.channels[c]
 	ch.Failed = failed
 	if failed {

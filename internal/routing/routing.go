@@ -161,6 +161,12 @@ type Result struct {
 	// dependencies and the cast-tree dependencies (including V-type
 	// branch-contention edges) when Cast is present.
 	Cast *CastTable
+	// LayerCDG, if non-nil, holds one digest per virtual layer over the
+	// final per-channel/per-edge states of the layer's complete channel
+	// dependency graph (cdg.StateDigest). Engines that route on the CDG
+	// (Nue) publish it so equivalence tests can assert two runs drove the
+	// CDG identically, not merely that their tables coincide.
+	LayerCDG []uint64
 	// Stats carries engine-specific counters (escape fallbacks, cycle
 	// searches, ...).
 	Stats map[string]float64

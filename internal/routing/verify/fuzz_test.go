@@ -22,7 +22,7 @@ import (
 // fuzzTopology derives a small topology from the fuzz inputs; every input
 // maps to some valid network so the fuzzer never wastes executions.
 func fuzzTopology(kind, a, b, c uint8, seed int64) *topology.Topology {
-	switch kind % 7 {
+	switch kind % 8 {
 	case 0:
 		return topology.Torus3D(2+int(a%3), 2+int(b%3), 2+int(c%2), 1+int(a%2), 1)
 	case 1:
@@ -44,6 +44,14 @@ func fuzzTopology(kind, a, b, c uint8, seed int64) *topology.Topology {
 		// A single Dragonfly router group (full mesh with Dragonfly-sized
 		// parameters).
 		return topology.DragonflyGroup(4+int(a%5), 1+int(b%2))
+	case 7:
+		// Large-sparse: the regime the PR 8 flat core targets — many
+		// switches, average switch degree ~3, long shortest paths, heavy
+		// escape-tree traffic. Big enough to exercise the CSR/dial/arena
+		// machinery, small enough for the seeded corpus to stay fast.
+		rng := rand.New(rand.NewSource(seed ^ 0x5a))
+		sws := 48 + int(a)%48
+		return topology.RandomTopology(rng, sws, sws*3/2, 1)
 	default:
 		rng := rand.New(rand.NewSource(seed))
 		sws := 10 + int(a)%30
@@ -89,6 +97,10 @@ func FuzzNueProperties(f *testing.F) {
 	// engine lives; Nue's escape layer must survive the same corner.
 	f.Add(uint8(5), uint8(3), uint8(1), uint8(0), int64(9), uint8(0), uint8(2), uint8(6))
 	f.Add(uint8(6), uint8(4), uint8(0), uint8(0), int64(10), uint8(0), uint8(5), uint8(0))
+	// Large-sparse entries (PR 8): the flat-core target regime, healthy
+	// and degraded, single-layer and multi-layer.
+	f.Add(uint8(7), uint8(10), uint8(0), uint8(0), int64(11), uint8(1), uint8(3), uint8(0))
+	f.Add(uint8(7), uint8(40), uint8(1), uint8(0), int64(12), uint8(0), uint8(7), uint8(7))
 
 	f.Fuzz(func(t *testing.T, kind, a, b, c uint8, seed int64, vcs, workers, failPct uint8) {
 		tp := fuzzTopology(kind, a, b, c, seed)
@@ -150,6 +162,28 @@ func FuzzNueProperties(f *testing.F) {
 		}
 		if routeHash(tp.Net, res) != routeHash(tp.Net, res2) {
 			t.Fatalf("tables differ between workers=%d and workers=%d", w, opts2.Workers)
+		}
+
+		// Flat-vs-legacy cross-check (PR 8): the CSR + dial-queue + arena
+		// hot path must be bit-identical to the Network-map + Fibonacci-heap
+		// reference — same tables and same final per-layer CDG states — on
+		// every fuzzed instance, not just the curated equivalence wall.
+		optsL := opts
+		optsL.LegacyCore = true
+		resL, err := core.New(optsL).Route(tp.Net, dests, k)
+		if err != nil {
+			t.Fatalf("legacy-core re-route failed: %v", err)
+		}
+		if routeHash(tp.Net, res) != routeHash(tp.Net, resL) {
+			t.Fatalf("flat and legacy cores disagree on the forwarding tables")
+		}
+		if len(res.LayerCDG) != len(resL.LayerCDG) {
+			t.Fatalf("flat and legacy cores used different layer counts")
+		}
+		for l := range res.LayerCDG {
+			if res.LayerCDG[l] != resL.LayerCDG[l] {
+				t.Fatalf("layer %d: flat CDG digest %#x != legacy %#x", l, res.LayerCDG[l], resL.LayerCDG[l])
+			}
 		}
 	})
 }
