@@ -286,6 +286,74 @@ func TestBenchGuardFlatCore(t *testing.T) {
 	}
 }
 
+// TestBenchGuardShard: the pr9 recording (sharded control plane) pins
+// the cost of sharding on the publish path. Every comparison is within
+// the one pr9 recording session — hardware-controlled like
+// TestBenchGuardTelemetryOverhead, because pr9 was recorded on a more
+// loaded host than pr8 and cross-session absolute numbers on shared
+// 1-core runners are noise (the pr9 JSON's description documents the
+// measured drift on untouched benchmarks). Pins:
+//
+//  1. A 4-shard apply (region-affine scheduling, seam certification,
+//     3-replica quorum commit) costs at most 1.25x the single-shard
+//     path — the coordination tax of the sharded plane, kept low by
+//     certifying only actual seam-dependency changes and staging the
+//     oracle by cost.
+//  2. The escape-root cache pays: a repair handed a still-valid root
+//     hint is strictly faster and allocates strictly less than the same
+//     repair running the Brandes betweenness pass.
+//  3. Carried order-of-magnitude invariants against the same-session
+//     routing anchor: a sharded publish is an incremental repair, far
+//     (>=50x) below a full routing pass; existence decision and cast
+//     build stay below a routing pass as in the pr7/pr8 guards.
+func TestBenchGuardShard(t *testing.T) {
+	const path = "BENCH_pr9.json"
+	cur := loadBaseline(t, path)
+	for _, name := range []string{
+		"BenchmarkShardApply/shards=1",
+		"BenchmarkShardApply/shards=4",
+		"BenchmarkRepairRootHint/hint=on",
+		"BenchmarkRepairRootHint/hint=off",
+		"BenchmarkRouteParallel/workers=1",
+		"BenchmarkDecide",
+		"BenchmarkCastTreeBuild",
+	} {
+		if _, ok := cur[name]; !ok {
+			t.Fatalf("%s is missing %s", path, name)
+		}
+	}
+
+	one := loadBaselineEntry(t, path, "BenchmarkShardApply/shards=1")
+	four := loadBaselineEntry(t, path, "BenchmarkShardApply/shards=4")
+	const shardTolerance = 1.25
+	if float64(four.NsPerOp) > float64(one.NsPerOp)*shardTolerance {
+		t.Errorf("4-shard apply %d ns/op exceeds %.2fx the single-shard path (%d ns/op)",
+			four.NsPerOp, shardTolerance, one.NsPerOp)
+	}
+
+	hint := loadBaselineEntry(t, path, "BenchmarkRepairRootHint/hint=on")
+	full := loadBaselineEntry(t, path, "BenchmarkRepairRootHint/hint=off")
+	if hint.NsPerOp >= full.NsPerOp {
+		t.Errorf("root-hint repair %d ns/op not faster than the betweenness pass %d ns/op",
+			hint.NsPerOp, full.NsPerOp)
+	}
+	if hint.AllocsPerOp >= full.AllocsPerOp {
+		t.Errorf("root-hint repair %d allocs/op not below the betweenness pass %d allocs/op",
+			hint.AllocsPerOp, full.AllocsPerOp)
+	}
+
+	route := cur["BenchmarkRouteParallel/workers=1"]
+	if four.NsPerOp*50 > route {
+		t.Errorf("sharded publish (%d ns/op) no longer far below a routing pass (%d ns/op)", four.NsPerOp, route)
+	}
+	if decide := cur["BenchmarkDecide"]; decide >= route {
+		t.Errorf("existence decision (%d ns/op) not faster than a routing pass (%d ns/op)", decide, route)
+	}
+	if build := cur["BenchmarkCastTreeBuild"]; build*10 > route {
+		t.Errorf("cast build (%d ns/op) no longer far below a routing pass (%d ns/op)", build, route)
+	}
+}
+
 // TestBenchGuardTelemetryOverhead: within the pr3 recording, the
 // telemetry-on sweep must stay within 5% of the telemetry-off sweep —
 // the recorded form of the zero-overhead-when-off design contract

@@ -11,6 +11,13 @@
 //	nueagent -connect 127.0.0.1:9411                    # subscribe to every switch
 //	nueagent -connect 127.0.0.1:9411 -switches 0,5,17   # own a shard of the fabric
 //	nueagent -connect 127.0.0.1:9411 -status 5s         # print install state periodically
+//	nueagent -connect 127.0.0.1:9411,127.0.0.1:9412     # fail over between publishers
+//
+// A comma-separated -connect lists the publishers of a replicated
+// control plane (nuefm -replicas N -serve): the agent rotates through
+// them on connection loss and resumes from its installed epoch with
+// whichever replica answers, so a leader crash mid-epoch costs one
+// reconnect, not a full re-sync.
 package main
 
 import (
@@ -30,7 +37,7 @@ import (
 
 func main() {
 	var (
-		connect   = flag.String("connect", "", "address of the nuefm -serve distribution source (required)")
+		connect   = flag.String("connect", "", "address of the nuefm -serve distribution source; comma-separate replicated publishers for failover (required)")
 		id        = flag.String("id", "", "agent identity reported to the source (default host-pid)")
 		switches  = flag.String("switches", "", "comma-separated switch IDs this agent owns (empty = all)")
 		reconnect = flag.Duration("reconnect", time.Second, "backoff between reconnect attempts")
@@ -63,16 +70,27 @@ func main() {
 	defer stop()
 
 	go watchInstalls(ctx, a, *status)
-	fmt.Printf("# nueagent %s: connecting to %s (%s)\n", *id, *connect, describe(owned))
-	if err := a.DialLoop(ctx, *connect, *reconnect); err != nil && ctx.Err() == nil {
-		fmt.Fprintf(os.Stderr, "nueagent: %v\n", err)
+	addrs := parseAddrs(*connect)
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "nueagent: -connect lists no address")
+		os.Exit(2)
+	}
+	fmt.Printf("# nueagent %s: connecting to %s (%s)\n", *id, strings.Join(addrs, ", "), describe(owned))
+	var dialErr error
+	if len(addrs) > 1 {
+		dialErr = a.DialMulti(ctx, addrs, *reconnect)
+	} else {
+		dialErr = a.DialLoop(ctx, addrs[0], *reconnect)
+	}
+	if dialErr != nil && ctx.Err() == nil {
+		fmt.Fprintf(os.Stderr, "nueagent: %v\n", dialErr)
 		os.Exit(1)
 	}
 	ep, crc, ok := a.Snapshot()
 	st := a.Stats()
 	if ok {
-		fmt.Printf("# nueagent %s: exiting at epoch %d (crc %#x), %d commits (%d full, %d delta, %d drained), %d naks\n",
-			*id, ep, crc, st.Commits, st.FullSyncs, st.DeltaInstalls, st.Drains, st.Naks)
+		fmt.Printf("# nueagent %s: exiting at epoch %d (crc %#x), %d commits (%d full, %d delta, %d drained), %d naks, %d failovers\n",
+			*id, ep, crc, st.Commits, st.FullSyncs, st.DeltaInstalls, st.Drains, st.Naks, st.Failovers)
 	} else {
 		fmt.Printf("# nueagent %s: exiting with no epoch installed\n", *id)
 	}
@@ -104,6 +122,18 @@ func watchInstalls(ctx context.Context, a *agent.Agent, every time.Duration) {
 			lastPrint = time.Now()
 		}
 	}
+}
+
+// parseAddrs splits a comma-separated publisher list, dropping empty
+// entries.
+func parseAddrs(s string) []string {
+	var addrs []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			addrs = append(addrs, part)
+		}
+	}
+	return addrs
 }
 
 func parseSwitches(s string) ([]graph.NodeID, error) {

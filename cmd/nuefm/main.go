@@ -9,6 +9,7 @@
 //	nuefm -topo random -trace failures.txt              # replay a trace
 //	nuefm -topo torus -events 20 -full                  # full-recompute baseline
 //	nuefm -serve :9411 -events 20 -hold 1m              # distribute LFTs to nueagent fleets
+//	nuefm -shards 4 -replicas 3 -topo dragonfly         # sharded, replicated control plane
 //
 // Trace files hold one event per line ("fail-link <from> <to>",
 // "join-link <from> <to>", "fail-switch <id>", "join-switch <id>"; '#'
@@ -53,6 +54,8 @@ func main() {
 		full      = flag.Bool("full", false, "disable incremental repair (full recompute per event)")
 		telemAddr = flag.String("telemetry-addr", "", "serve Prometheus /metrics, /telemetry.json and net/http/pprof on this address (e.g. :9090; empty = off)")
 		serveAddr = flag.String("serve", "", "distribute forwarding tables to nueagent fleets on this address (e.g. :9411; empty = off)")
+		shards    = flag.Int("shards", 1, "partition the fabric into this many controller regions (shard.Plane when > 1)")
+		replicas  = flag.Int("replicas", 1, "epoch-log replication factor (quorum commit when > 1; with -serve, one publisher per replica on consecutive ports)")
 		interval  = flag.Duration("event-interval", 0, "pause between churn events (gives scrapers a live view)")
 		hold      = flag.Duration("hold", 0, "keep running (and serving telemetry) this long after the last event")
 	)
@@ -89,6 +92,26 @@ func main() {
 			_, err := oracle.Certify(net, res, oracle.Options{MaxVCs: budget})
 			return err
 		}
+	}
+	if *shards > 1 || *replicas > 1 {
+		err := runSharded(tp, reg, shardConfig{
+			shards:   *shards,
+			replicas: *replicas,
+			events:   *events,
+			pJoin:    *pJoin,
+			swEvery:  *swEvery,
+			trace:    *trace,
+			seed:     *seed,
+			serve:    *serveAddr,
+			interval: *interval,
+			hold:     *hold,
+			fabric:   opts,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	var src *distrib.Source
 	if *serveAddr != "" {

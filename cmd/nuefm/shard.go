@@ -1,0 +1,207 @@
+package main
+
+// The sharded control-plane path of nuefm: -shards/-replicas swap the
+// monolithic fabric.Manager for a shard.Plane — region-affine repair
+// scheduling, seam certification and quorum commit — while keeping the
+// same churn loop and per-event output. With -serve, every replica runs
+// its own distribution publisher on a consecutive port, so a nueagent
+// fleet pointed at the full address list (comma-separated -connect)
+// fails over between publishers when one dies.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/distrib"
+	"repro/internal/fabric"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// shardConfig carries the flag values the sharded run needs.
+type shardConfig struct {
+	shards, replicas int
+	events           int
+	pJoin            float64
+	swEvery          int
+	trace            string
+	seed             int64
+	serve            string
+	interval, hold   time.Duration
+	fabric           fabric.Options
+}
+
+// runSharded drives the churn loop through a sharded, replicated plane.
+func runSharded(tp *topology.Topology, reg *telemetry.Registry, cfg shardConfig) error {
+	// Publishers first: shard.New commits (and replicates) the initial
+	// epoch, so the sources must exist before the plane does.
+	var sources []*distrib.Source
+	if cfg.serve != "" {
+		addrs, err := serveReplicas(cfg, reg, &sources)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# replicated distribution on %d publishers (connect with: nueagent -connect %s)\n",
+			len(addrs), strings.Join(addrs, ","))
+	}
+	defer func() {
+		for _, s := range sources {
+			s.Close()
+		}
+	}()
+
+	start := time.Now()
+	p, err := shard.New(tp, shard.Options{
+		Shards:   cfg.shards,
+		Replicas: cfg.replicas,
+		Fabric:   cfg.fabric,
+		OnReplicate: func(replica int, s *fabric.Snapshot) {
+			if replica < len(sources) {
+				sources[replica].Publish(distrib.Epoch{Seq: s.Epoch, Net: s.Net, Result: s.Result})
+			}
+		},
+		Telemetry: reg.Shard(),
+	})
+	if err != nil {
+		return err
+	}
+	leader, term := p.Leader()
+	fmt.Printf("# %s: %s; initial routing in %s (%d VCs), %d replicas (quorum %d), leader %d term %d\n",
+		tp.Name, p.Regions(), time.Since(start).Round(time.Millisecond),
+		p.View().Result.VCs, cfg.replicas, p.Cluster().Size()/2+1, leader, term)
+
+	// The plane owns its fabric state; churn is drawn from a shadow state
+	// evolving in lockstep, exactly like the differential harness does.
+	st := fabric.NewState(tp.Net)
+	var evs []fabric.Event
+	if cfg.trace != "" {
+		f, err := os.Open(cfg.trace)
+		if err != nil {
+			return err
+		}
+		evs, err = fabric.ParseTrace(f, st.Working())
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed + 1))
+	n := cfg.events
+	if cfg.trace != "" {
+		n = len(evs)
+	}
+	for i := 0; i < n; i++ {
+		var ev fabric.Event
+		if cfg.trace != "" {
+			ev = evs[i]
+		} else {
+			var ok bool
+			if cfg.swEvery > 0 && (i+1)%cfg.swEvery == 0 {
+				ev, ok = st.RandomSwitchEvent(rng, cfg.pJoin)
+			} else {
+				ev, ok = st.RandomEvent(rng, cfg.pJoin)
+			}
+			if !ok {
+				fmt.Println("# no further churn event possible")
+				break
+			}
+		}
+		st.Mutate(ev)
+		rep, err := p.Apply(ev)
+		if err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		fmt.Printf("%s | term %d leader %d, %d local + %d seam jobs%s\n",
+			rep.EventReport.String(), rep.Term, rep.Leader, rep.LocalJobs, rep.SeamJobs, seamSuffix(rep))
+		if cfg.interval > 0 && i < n-1 {
+			time.Sleep(cfg.interval)
+		}
+	}
+
+	m := p.Metrics()
+	fmt.Printf("# %d events (%d no-ops), %d/%d destination routes recomputed (%.1f%%), %d layer rebuilds, %d full recomputes\n",
+		m.Events, m.NoOps, m.RepairedDests, m.DestRoutes,
+		100*float64(m.RepairedDests)/float64(max(1, m.DestRoutes)), m.LayerRebuilds, m.FullRecomputes)
+	fmt.Printf("# control plane: %d epochs committed, %d local + %d seam jobs, %d seam certifications (%d drains, %d vetoes), %d elections, %d deposals\n",
+		m.EpochsCommitted, m.LocalJobs, m.SeamJobs, m.SeamCertified, m.SeamDrains, m.SeamVetoes, m.Elections, m.Deposals)
+	if len(sources) > 0 {
+		leader, _ := p.Leader()
+		if leader >= 0 && leader < len(sources) {
+			sources[leader].WaitConverged(p.Epoch(), 10*time.Second)
+			if e, ok := sources[leader].FleetEpoch(); ok {
+				fmt.Printf("# fleet: committed epoch %d (plane epoch %d), %d quarantined\n",
+					e, p.Epoch(), len(sources[leader].Quarantined()))
+			} else {
+				fmt.Println("# fleet: no epoch committed")
+			}
+		}
+	}
+	if cfg.hold > 0 {
+		fmt.Printf("# holding for %s (telemetry stays scrapeable)\n", cfg.hold)
+		time.Sleep(cfg.hold)
+	}
+	return nil
+}
+
+// serveReplicas starts one distribution publisher per replica. The
+// -serve port seeds consecutive ports (:9411 -> :9411, :9412, ...); port
+// 0 asks the kernel for an ephemeral port per replica.
+func serveReplicas(cfg shardConfig, reg *telemetry.Registry, sources *[]*distrib.Source) ([]string, error) {
+	host, portStr, err := net.SplitHostPort(cfg.serve)
+	if err != nil {
+		return nil, fmt.Errorf("bad -serve %q: %w", cfg.serve, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -serve port %q: %w", portStr, err)
+	}
+	var addrs []string
+	for r := 0; r < cfg.replicas; r++ {
+		var tm *telemetry.DistribMetrics
+		if r == 0 {
+			tm = reg.Distrib() // one replica feeds the registry; names are not per-replica
+		}
+		replica := r
+		src := distrib.NewSource(distrib.Options{
+			Certify:   distrib.DefaultCertify,
+			Telemetry: tm,
+			Logf: func(format string, args ...any) {
+				fmt.Printf("# [replica %d] "+format+"\n", append([]any{replica}, args...)...)
+			},
+		})
+		p := port
+		if p != 0 {
+			p += r
+		}
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, strconv.Itoa(p)))
+		if err != nil {
+			return nil, fmt.Errorf("replica %d listener: %w", r, err)
+		}
+		go src.Serve(ln)
+		*sources = append(*sources, src)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	return addrs, nil
+}
+
+// seamSuffix renders the seam-certification outcome of one epoch.
+func seamSuffix(rep *shard.Report) string {
+	if !rep.SeamCertified {
+		return ""
+	}
+	switch {
+	case rep.SeamVeto != nil:
+		return fmt.Sprintf(", seam VETOED (%v)", rep.SeamVeto)
+	case rep.SeamDrain:
+		return ", seam certified (drain)"
+	default:
+		return ", seam certified"
+	}
+}

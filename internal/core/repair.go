@@ -34,6 +34,14 @@ type RepairRequest struct {
 	// the old and new configuration stays deadlock-free (UPR-style
 	// transition compatibility).
 	Kept []graph.NodeID
+	// RootHint, when HasRootHint is set, proposes the escape-path root,
+	// skipping the betweenness-centrality search. Callers pass the root
+	// of a previous repair whose escape tree the churn did not touch (the
+	// tree still spans the surviving component, so the hint stays
+	// usable). The hint is revalidated against Repair reachability; an
+	// invalid hint silently falls back to the full centrality pass.
+	RootHint    graph.NodeID
+	HasRootHint bool
 }
 
 // RepairStats reports one layer repair.
@@ -45,6 +53,14 @@ type RepairStats struct {
 	// Routed counts repair destinations actually re-routed; Unreachable
 	// those left without paths (disconnected from the repair root).
 	Routed, Unreachable int
+	// Root is the escape-path root the repair used; Tree its spanning
+	// tree over the post-event network. Callers cache the pair and pass
+	// Root back as RootHint while churn stays outside the tree.
+	Root graph.NodeID
+	Tree *graph.Tree
+	// RootReused reports that RootHint was accepted, skipping the
+	// betweenness pass.
+	RootReused bool
 }
 
 // RepairLayer re-routes the Repair destinations of one virtual layer on
@@ -71,14 +87,37 @@ func (n *Nue) RepairLayer(req RepairRequest) (*RepairStats, error) {
 	if len(routable) == 0 {
 		return stats, nil
 	}
-	rng := rand.New(rand.NewSource(n.opts.Seed))
-	// Repairs run one per layer (often concurrently, under the fabric
-	// manager), so each keeps its betweenness pass single-threaded.
-	root := n.pickRoot(net, routable, rng, 1)
-	if root == graph.NoNode {
-		return stats, errors.New("core: no usable escape-path root for repair")
+	root := graph.NoNode
+	var tree *graph.Tree
+	if req.HasRootHint && req.RootHint != graph.NoNode && net.Degree(req.RootHint) > 0 {
+		// A cached root from a previous repair: accept it iff its fresh
+		// spanning tree still reaches every repairable destination, which
+		// holds whenever churn since the caching stayed outside the old
+		// escape tree. Costs one BFS instead of a Brandes betweenness pass.
+		hintTree := graph.SpanningTree(net, req.RootHint)
+		ok := true
+		for _, d := range routable {
+			if hintTree.Dist[d] < 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			root, tree = req.RootHint, hintTree
+			stats.RootReused = true
+		}
 	}
-	tree := graph.SpanningTree(net, root)
+	if root == graph.NoNode {
+		// Repairs run one per layer (often concurrently, under the fabric
+		// manager), so each keeps its betweenness pass single-threaded.
+		rng := rand.New(rand.NewSource(n.opts.Seed))
+		root = n.pickRoot(net, routable, rng, 1)
+		if root == graph.NoNode {
+			return stats, errors.New("core: no usable escape-path root for repair")
+		}
+		tree = graph.SpanningTree(net, root)
+	}
+	stats.Root, stats.Tree = root, tree
 	reached := routable[:0]
 	for _, d := range routable {
 		if tree.Dist[d] >= 0 {
@@ -113,7 +152,7 @@ func (n *Nue) RepairLayer(req RepairRequest) (*RepairStats, error) {
 	for _, dest := range routable {
 		req.Table.ClearDest(dest)
 	}
-	*stats = RepairStats{Unreachable: stats.Unreachable}
+	*stats = RepairStats{Unreachable: stats.Unreachable, Root: stats.Root, Tree: stats.Tree, RootReused: stats.RootReused}
 	if ok, err := n.repairAttempt(req, tree, routable, stats, true); err != nil {
 		return stats, err
 	} else if !ok {

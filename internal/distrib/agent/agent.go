@@ -45,6 +45,9 @@ type Stats struct {
 	// Drains counts installs that went through the drained (forwarding
 	// paused) path.
 	Drains int
+	// Failovers counts switches to a different publisher address
+	// (DialMulti only).
+	Failovers int
 }
 
 // staging is an epoch push being assembled; it becomes installable only
@@ -407,6 +410,55 @@ func (a *Agent) commit(conn net.Conn, epoch uint64) {
 	fleet := distrib.FleetCRC(a.crcs)
 	a.mu.Unlock()
 	a.writeAck(conn, epoch, distrib.Ack{Phase: distrib.AckCommitted, FleetCRC: fleet})
+}
+
+// DialMulti connects to the first reachable publisher in addrs and
+// serves the protocol, rotating to the next address whenever the dial or
+// the stream fails — the replicated-control-plane failover path.
+// Installed state (epoch, rows, CRCs) persists across publishers: on the
+// new connection the agent Hello's its last acked epoch and the new
+// publisher re-syncs it by CRC (a delta when it can serve one, a full
+// checksummed snapshot otherwise), so a mid-epoch publisher crash never
+// leaves a torn table. Rotation is immediate; only a full unreachable
+// sweep of all addresses sleeps for backoff. Returns when ctx is done.
+func (a *Agent) DialMulti(ctx context.Context, addrs []string, backoff time.Duration) error {
+	if len(addrs) == 0 {
+		return errors.New("agent: no publisher addresses")
+	}
+	if backoff <= 0 {
+		backoff = time.Second
+	}
+	cur, last, fails := 0, -1, 0
+	for {
+		idx := cur % len(addrs)
+		conn, err := net.Dial("tcp", addrs[idx])
+		if err == nil {
+			fails = 0
+			if last >= 0 && last != idx {
+				a.mu.Lock()
+				a.stats.Failovers++
+				a.mu.Unlock()
+				a.logf("agent %s: failed over to publisher %s", a.opts.ID, addrs[idx])
+			}
+			last = idx
+			err = a.Serve(ctx, conn)
+		} else {
+			fails++
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		cur++
+		a.logf("agent %s: publisher %s lost (%v), trying %s", a.opts.ID, addrs[idx], err, addrs[cur%len(addrs)])
+		if fails >= len(addrs) {
+			fails = 0
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(backoff):
+			}
+		}
+	}
 }
 
 // DialLoop connects to addr and serves the protocol, reconnecting with

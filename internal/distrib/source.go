@@ -203,6 +203,21 @@ func (s *Source) Publish(e Epoch) {
 	s.cond.Signal()
 }
 
+// PrimeCommitted seeds the source's last-committed epoch without
+// running a distribution round — used when a standby publisher takes
+// over a fleet whose agents already hold epoch e (they acked it to the
+// failed leader), so its first pushes can be deltas against that base
+// instead of full snapshots. Agents whose Hello reports any other epoch
+// still get the full checksummed re-sync.
+func (s *Source) PrimeCommitted(e Epoch) {
+	compiled := Compile(e)
+	s.mu.Lock()
+	if s.committed == nil || compiled.Seq >= s.committed.Seq {
+		s.committed = compiled
+	}
+	s.mu.Unlock()
+}
+
 // AddConn adopts one agent connection: it reads the agent's Hello and
 // registers it with the fleet. The connection is served until it fails
 // or the source closes.

@@ -1,18 +1,10 @@
 package fabric
 
 import (
-	"errors"
 	"fmt"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/mcast"
 	"repro/internal/routing"
-	"repro/internal/routing/verify"
 )
 
 // Apply processes one reconfiguration event: it mutates the manager's
@@ -32,7 +24,7 @@ func (m *Manager) Apply(ev Event) (*EventReport, error) {
 		TotalDests: len(old.Result.Table.Dests()),
 	}
 
-	changed := m.mutate(ev)
+	changed := m.st.Mutate(ev)
 	if len(changed) == 0 {
 		report.NoOp = true
 		report.Latency = time.Since(start)
@@ -41,22 +33,22 @@ func (m *Manager) Apply(ev Event) (*EventReport, error) {
 		return report, nil
 	}
 
-	newNet := m.working.Clone()
-	res, repaired, err := m.retable(old, newNet, changed, report)
+	newNet := m.st.Working().Clone()
+	res, repaired, err := m.run.Retable(m.st, old, newNet, changed, report, PooledJobs(m.opts.workers()))
 	if err != nil {
-		m.revert(ev, changed)
+		m.st.Revert(ev, changed)
 		recordEvent(m.opts.Telemetry, report, err)
 		return nil, fmt.Errorf("fabric: %s: %w", ev, err)
 	}
 
 	if report.FullRecompute {
-		m.rebuildIndex(res.Table)
+		m.st.RebuildIndex(res.Table)
 	} else {
 		for _, d := range repaired {
-			m.reindexDest(res.Table, d)
+			m.st.ReindexDest(res.Table, d)
 		}
 	}
-	m.reindexCast(res.Cast)
+	m.st.ReindexCast(res.Cast)
 	report.Delta = routing.Diff(old.Result.Table, res.Table)
 	report.Epoch = old.Epoch + 1
 	report.Latency = time.Since(start)
@@ -68,289 +60,4 @@ func (m *Manager) Apply(ev Event) (*EventReport, error) {
 	m.metrics.add(report)
 	recordEvent(m.opts.Telemetry, report, nil)
 	return report, nil
-}
-
-// mutate applies the structural change of ev to the working network and
-// returns the directed channels whose failed state flipped (empty for
-// no-ops). Callers hold mu.
-func (m *Manager) mutate(ev Event) []graph.ChannelID {
-	var changed []graph.ChannelID
-	// sync re-evaluates one duplex link's desired state against the
-	// working network and records the flip.
-	sync := func(link graph.ChannelID) {
-		ch := m.working.Channel(link)
-		down := m.linkFailed[link] || m.nodeDown[ch.From] || m.nodeDown[ch.To]
-		if m.working.SetChannelFailed(link, down) {
-			changed = append(changed, link, ch.Reverse)
-		}
-	}
-	switch ev.Kind {
-	case LinkFail, LinkJoin:
-		link := canonical(m.working, ev.Link)
-		want := ev.Kind == LinkFail
-		if m.linkFailed[link] == want {
-			return nil
-		}
-		m.linkFailed[link] = want
-		sync(link)
-	case SwitchFail, SwitchJoin:
-		want := ev.Kind == SwitchFail
-		if m.nodeDown[ev.Node] == want {
-			return nil
-		}
-		m.nodeDown[ev.Node] = want
-		for _, link := range m.links[ev.Node] {
-			sync(link)
-		}
-	}
-	return changed
-}
-
-// revert undoes mutate after a failed reconfiguration so the manager
-// state stays consistent with the still-published snapshot.
-func (m *Manager) revert(ev Event, changed []graph.ChannelID) {
-	switch ev.Kind {
-	case LinkFail, LinkJoin:
-		link := canonical(m.working, ev.Link)
-		m.linkFailed[link] = ev.Kind != LinkFail
-	case SwitchFail, SwitchJoin:
-		m.nodeDown[ev.Node] = ev.Kind != SwitchFail
-	}
-	for i := 0; i < len(changed); i += 2 {
-		c := changed[i]
-		m.working.SetChannelFailed(c, !m.working.Channel(c).Failed)
-	}
-}
-
-// retable computes the new routing for newNet. It returns the result and
-// the destinations whose columns changed (for index maintenance).
-func (m *Manager) retable(old *Snapshot, newNet *graph.Network, changed []graph.ChannelID, report *EventReport) (*routing.Result, []graph.NodeID, error) {
-	if m.opts.FullRecompute {
-		res, err := m.fullRecompute(newNet, report)
-		return res, nil, err
-	}
-	oldRes := old.Result
-
-	// Affected destinations: for failed channels, exactly the ones whose
-	// forwarding trees traverse them (the inverted index); for restored
-	// channels, the ones with incomplete columns (disconnection healing).
-	affected := make(map[graph.NodeID]struct{})
-	restored := false
-	for _, c := range changed {
-		if newNet.Channel(c).Failed {
-			for d := range m.destsUsing[c] {
-				affected[d] = struct{}{}
-			}
-		} else {
-			restored = true
-		}
-	}
-	table := oldRes.Table.Clone(newNet)
-	dests := table.Dests()
-	if restored {
-		for _, d := range dests {
-			if _, ok := affected[d]; ok || newNet.Degree(d) == 0 {
-				continue
-			}
-			for _, s := range newNet.Switches() {
-				if newNet.Degree(s) > 0 && s != d && table.Next(s, d) == graph.NoChannel {
-					affected[d] = struct{}{}
-					break
-				}
-			}
-		}
-	}
-	// Destinations that just lost their last channel must drop their
-	// stale columns even though no path can be rebuilt.
-	for _, d := range dests {
-		if newNet.Degree(d) == 0 && len(m.destChans[d]) > 0 {
-			affected[d] = struct{}{}
-		}
-	}
-
-	if len(affected) == 0 {
-		// Topology changed but no unicast route is impacted (e.g. failing
-		// an unused link): republish the same entries on the new network.
-		// Cast trees may still be hit — finishResult repairs them.
-		res := resultWith(oldRes, table)
-		if err := m.finishResult(newNet, res, oldRes.Cast, changed, report); err != nil {
-			return nil, nil, err
-		}
-		return res, nil, nil
-	}
-
-	// Group the repair by virtual layer; untouched destinations of a
-	// layer keep their routes and seed the layer's repair CDG.
-	byLayer := make(map[uint8][]graph.NodeID)
-	keptByLayer := make(map[uint8][]graph.NodeID)
-	repairedList := make([]graph.NodeID, 0, len(affected))
-	for i, d := range dests {
-		var l uint8
-		if oldRes.DestLayer != nil {
-			l = oldRes.DestLayer[i]
-		}
-		if _, ok := affected[d]; ok {
-			byLayer[l] = append(byLayer[l], d)
-			repairedList = append(repairedList, d)
-		} else {
-			keptByLayer[l] = append(keptByLayer[l], d)
-		}
-	}
-	layers := make([]uint8, 0, len(byLayer))
-	for l := range byLayer {
-		layers = append(layers, l)
-	}
-	sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
-
-	// Layers own disjoint table columns, so their repairs run in
-	// parallel, exactly like Nue's full routing runs its layers — bounded
-	// by the manager's worker budget so a burst of churn events cannot
-	// oversubscribe the host.
-	stats := make([]*core.RepairStats, len(layers))
-	rebuilt := make([]bool, len(layers))
-	errs := make([]error, len(layers))
-	repairOne := func(i int, l uint8) {
-		stats[i], errs[i] = m.nue.RepairLayer(core.RepairRequest{
-			Net:    newNet,
-			Table:  table,
-			Repair: byLayer[l],
-			Kept:   keptByLayer[l],
-		})
-		if errors.Is(errs[i], core.ErrRepairInfeasible) {
-			// The kept routes conflict with the repair's escape paths:
-			// widen to the whole layer, which always succeeds.
-			rebuilt[i] = true
-			all := append(append([]graph.NodeID(nil), byLayer[l]...), keptByLayer[l]...)
-			stats[i], errs[i] = m.nue.RepairLayer(core.RepairRequest{
-				Net:    newNet,
-				Table:  table,
-				Repair: all,
-			})
-		}
-	}
-	workers := m.opts.workers()
-	if workers > len(layers) {
-		workers = len(layers)
-	}
-	if workers <= 1 {
-		for i, l := range layers {
-			repairOne(i, l)
-		}
-	} else {
-		var next int32
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt32(&next, 1)) - 1
-					if i >= len(layers) {
-						return
-					}
-					repairOne(i, layers[i])
-				}
-			}()
-		}
-		wg.Wait()
-	}
-	for i, l := range layers {
-		if errs[i] != nil {
-			// Last resort: re-route the whole fabric.
-			res, err := m.fullRecompute(newNet, report)
-			if err != nil {
-				return nil, nil, fmt.Errorf("layer %d repair failed (%v) and full recompute failed: %w", l, errs[i], err)
-			}
-			return res, nil, nil
-		}
-		if rebuilt[i] {
-			report.LayerRebuilds++
-			repairedList = append(repairedList, keptByLayer[l]...)
-		}
-		report.RepairedDests += stats[i].Routed
-		report.UnreachableDests += stats[i].Unreachable
-		report.Seeded.Channels += stats[i].Seeded.Channels
-		report.Seeded.Deps += stats[i].Seeded.Deps
-	}
-
-	res := resultWith(oldRes, table)
-	if err := m.finishResult(newNet, res, oldRes.Cast, changed, report); err != nil {
-		// Defense in depth: an invalid incremental transition is replaced
-		// by a verified full recompute.
-		full, ferr := m.fullRecompute(newNet, report)
-		if ferr != nil {
-			return nil, nil, fmt.Errorf("incremental transition invalid (%v) and full recompute failed: %w", err, ferr)
-		}
-		return full, nil, nil
-	}
-	return res, repairedList, nil
-}
-
-// finishResult completes a to-be-published result: the multicast trees
-// are repaired against the new routing (kept where their channels are
-// alive and their dependencies re-admit into the new union graph,
-// rebuilt otherwise, starting from the groups the changed channels
-// touch), and the combined configuration is verified / post-checked.
-// With no configured groups it reduces to maybeVerify.
-func (m *Manager) finishResult(newNet *graph.Network, res *routing.Result, oldCast *routing.CastTable, changed []graph.ChannelID, report *EventReport) error {
-	if len(m.opts.Groups) > 0 {
-		rebuild := make(map[int]bool)
-		for _, c := range changed {
-			for _, id := range m.castChans[c] {
-				rebuild[id] = true
-			}
-		}
-		cast, st, err := mcast.Rebuild(newNet, res, oldCast, m.opts.Groups, rebuild, mcast.Options{Telemetry: m.opts.McastTelemetry})
-		if err != nil {
-			return fmt.Errorf("cast repair: %w", err)
-		}
-		res.Cast = cast
-		report.CastGroups = st.Groups
-		report.CastKept = st.Kept
-		report.CastRebuilt = st.TreesBuilt
-		report.CastUBM = st.UBMMembers
-	}
-	return m.maybeVerify(newNet, res, report)
-}
-
-// fullRecompute routes the fabric (and its cast trees) from scratch and
-// verifies if required.
-func (m *Manager) fullRecompute(newNet *graph.Network, report *EventReport) (*routing.Result, error) {
-	res, err := m.routeFull(newNet)
-	if err != nil {
-		return nil, err
-	}
-	report.FullRecompute = true
-	report.RepairedDests = report.TotalDests
-	if err := m.finishResult(newNet, res, nil, nil, report); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-func (m *Manager) maybeVerify(net *graph.Network, res *routing.Result, report *EventReport) error {
-	if m.opts.Verify {
-		if _, err := verify.Check(net, res, nil); err != nil {
-			return err
-		}
-		report.Verified = true
-	}
-	if m.opts.PostCheck != nil {
-		if err := m.opts.PostCheck(net, res); err != nil {
-			return fmt.Errorf("post-check: %w", err)
-		}
-		report.PostChecked = true
-	}
-	return nil
-}
-
-// resultWith rebinds an old result to a repaired table; layer assignment
-// and VC usage are invariants of incremental repair.
-func resultWith(old *routing.Result, table *routing.Table) *routing.Result {
-	return &routing.Result{
-		Algorithm: old.Algorithm,
-		Table:     table,
-		VCs:       old.VCs,
-		DestLayer: old.DestLayer,
-	}
 }

@@ -16,35 +16,35 @@ import (
 func (m *Manager) RandomEvent(rng *rand.Rand, pJoin float64) (Event, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.st.RandomEvent(rng, pJoin)
+}
 
-	var down []graph.ChannelID
-	for link, failed := range m.linkFailed {
-		if failed {
-			down = append(down, link)
-		}
-	}
-	sortChannels(down)
+// RandomEvent draws the next link-churn event against the state's working
+// network (see Manager.RandomEvent). The state is not modified. The caller
+// owns serialization.
+func (s *State) RandomEvent(rng *rand.Rand, pJoin float64) (Event, bool) {
+	down := s.DownLinks()
 	if len(down) > 0 && rng.Float64() < pJoin {
 		return Event{Kind: LinkJoin, Link: down[rng.Intn(len(down))]}, true
 	}
 
 	var alive []graph.ChannelID
-	for c := 0; c < m.working.NumChannels(); c++ {
+	for c := 0; c < s.working.NumChannels(); c++ {
 		id := graph.ChannelID(c)
-		ch := m.working.Channel(id)
-		if canonical(m.working, id) != id || ch.Failed {
+		ch := s.working.Channel(id)
+		if canonical(s.working, id) != id || ch.Failed {
 			continue
 		}
-		if m.working.IsSwitch(ch.From) && m.working.IsSwitch(ch.To) {
+		if s.working.IsSwitch(ch.From) && s.working.IsSwitch(ch.To) {
 			alive = append(alive, id)
 		}
 	}
 	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
 	for _, c := range alive {
 		// Probe on the working copy and revert: Apply will redo the flip.
-		m.working.SetChannelFailed(c, true)
-		ok := graph.Connected(m.working)
-		m.working.SetChannelFailed(c, false)
+		s.working.SetChannelFailed(c, true)
+		ok := graph.Connected(s.working)
+		s.working.SetChannelFailed(c, false)
 		if ok {
 			return Event{Kind: LinkFail, Link: c}, true
 		}
@@ -61,39 +61,38 @@ func (m *Manager) RandomEvent(rng *rand.Rand, pJoin float64) (Event, bool) {
 func (m *Manager) RandomSwitchEvent(rng *rand.Rand, pJoin float64) (Event, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.st.RandomSwitchEvent(rng, pJoin)
+}
 
-	var downSw []graph.NodeID
-	for n, down := range m.nodeDown {
-		if down {
-			downSw = append(downSw, n)
-		}
-	}
-	sortNodes(downSw)
+// RandomSwitchEvent draws a switch-churn event against the state's working
+// network (see Manager.RandomSwitchEvent). The state is not modified.
+func (s *State) RandomSwitchEvent(rng *rand.Rand, pJoin float64) (Event, bool) {
+	downSw := s.DownSwitches()
 	if len(downSw) > 0 && rng.Float64() < pJoin {
 		return Event{Kind: SwitchJoin, Node: downSw[rng.Intn(len(downSw))]}, true
 	}
 
 	var alive []graph.NodeID
-	for _, s := range m.working.Switches() {
-		if !m.nodeDown[s] && m.working.Degree(s) > 0 {
-			alive = append(alive, s)
+	for _, sw := range s.working.Switches() {
+		if !s.nodeDown[sw] && s.working.Degree(sw) > 0 {
+			alive = append(alive, sw)
 		}
 	}
 	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
-	for _, s := range alive {
+	for _, sw := range alive {
 		var flipped []graph.ChannelID
-		for _, link := range m.links[s] {
-			if !m.working.Channel(link).Failed {
-				m.working.SetChannelFailed(link, true)
+		for _, link := range s.links[sw] {
+			if !s.working.Channel(link).Failed {
+				s.working.SetChannelFailed(link, true)
 				flipped = append(flipped, link)
 			}
 		}
-		ok := graph.Connected(m.working)
+		ok := graph.Connected(s.working)
 		for _, link := range flipped {
-			m.working.SetChannelFailed(link, false)
+			s.working.SetChannelFailed(link, false)
 		}
 		if ok {
-			return Event{Kind: SwitchFail, Node: s}, true
+			return Event{Kind: SwitchFail, Node: sw}, true
 		}
 	}
 	if len(downSw) > 0 {

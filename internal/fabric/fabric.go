@@ -21,13 +21,11 @@
 package fabric
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mcast"
 	"repro/internal/routing"
@@ -114,39 +112,23 @@ type Snapshot struct {
 // Manager is the online fabric manager. Query methods (NextHop, Path,
 // View, Epoch) are safe for arbitrary concurrency; Apply serializes
 // reconfigurations internally.
+//
+// Internally the manager is a thin epoch-ownership shell over two
+// separable pieces: a State (mutable topology bookkeeping + inverted
+// indexes) and a Runner (the repair computation). The sharded control
+// plane (internal/shard) composes the same two pieces under a replicated
+// epoch log instead of a process-local atomic pointer; keeping the
+// per-layer repair jobs identical on both paths is what makes sharded
+// and monolithic tables digest-equal.
 type Manager struct {
 	opts Options
-	nue  *core.Nue
 
 	snap atomic.Pointer[Snapshot]
 
-	mu sync.Mutex // guards everything below; serializes Apply
-	// working is the manager's private mutable network; published
-	// snapshots carry clones of it.
-	working *graph.Network
-	// linkFailed marks duplex links failed on their own (keyed by the
-	// canonical directed half); nodeDown marks failed switches. A link is
-	// down iff it failed explicitly or either endpoint is down, so a
-	// switch rejoining does not resurrect a link that also failed on its
-	// own.
-	linkFailed map[graph.ChannelID]bool
-	nodeDown   map[graph.NodeID]bool
-	// links lists, per node, the canonical duplex links attached to it
-	// (independent of current failed state).
-	links [][]graph.ChannelID
-	// destsUsing indexes, per directed channel, the destinations whose
-	// forwarding trees traverse it — the inverted index that makes the
-	// affected-destination computation O(|changed channels|) instead of
-	// O(|table|).
-	destsUsing map[graph.ChannelID]map[graph.NodeID]struct{}
-	// destChans is the reverse view: the channels each destination's
-	// column currently uses.
-	destChans map[graph.NodeID][]graph.ChannelID
-	// castChans indexes, per directed channel, the cast groups whose
-	// trees traverse it — the multicast analogue of destsUsing, so a
-	// churn event maps to its affected groups in O(|changed channels|).
-	castChans map[graph.ChannelID][]int
-	metrics   Metrics
+	mu      sync.Mutex // guards everything below; serializes Apply
+	st      *State
+	run     *Runner
+	metrics Metrics
 }
 
 // NewManager routes the topology from scratch and starts managing it.
@@ -155,34 +137,30 @@ func NewManager(tp *topology.Topology, opts Options) (*Manager, error) {
 	if opts.MaxVCs <= 0 {
 		opts.MaxVCs = 4
 	}
-	nopts := core.DefaultOptions()
-	nopts.Seed = opts.Seed
-	nopts.Workers = opts.Workers
-	nopts.Telemetry = opts.EngineTelemetry
 	m := &Manager{
-		opts:       opts,
-		nue:        core.New(nopts),
-		working:    tp.Net.Clone(),
-		linkFailed: make(map[graph.ChannelID]bool),
-		nodeDown:   make(map[graph.NodeID]bool),
-		links:      make([][]graph.ChannelID, tp.Net.NumNodes()),
+		opts: opts,
+		st:   NewState(tp.Net),
+		run:  NewRunner(opts),
 	}
-	for c := 0; c < m.working.NumChannels(); c++ {
-		id := graph.ChannelID(c)
-		if canonical(m.working, id) != id {
-			continue
-		}
-		ch := m.working.Channel(id)
-		m.links[ch.From] = append(m.links[ch.From], id)
-		m.links[ch.To] = append(m.links[ch.To], id)
-		// Links already failed in the input topology count as explicit
-		// failures, so a later join can restore them.
-		if ch.Failed {
-			m.linkFailed[id] = true
-		}
+	snap, err := InitialEpoch(m.st, m.run)
+	if err != nil {
+		return nil, err
 	}
-	net := m.working.Clone()
-	res, err := m.routeFull(net)
+	m.snap.Store(snap)
+	if opts.OnPublish != nil {
+		opts.OnPublish(snap)
+	}
+	return m, nil
+}
+
+// InitialEpoch routes st's network from scratch, verifies/post-checks it
+// per the runner's options, indexes st for it and returns it as epoch 0.
+// Shared by the Manager and the sharded control plane so both publish the
+// same first epoch for the same topology and options.
+func InitialEpoch(st *State, run *Runner) (*Snapshot, error) {
+	opts := run.Options()
+	net := st.Working().Clone()
+	res, err := run.RouteFull(net)
 	if err != nil {
 		return nil, fmt.Errorf("fabric: initial routing: %w", err)
 	}
@@ -203,23 +181,9 @@ func NewManager(tp *topology.Topology, opts Options) (*Manager, error) {
 			return nil, fmt.Errorf("fabric: initial routing rejected by post-check: %w", err)
 		}
 	}
-	m.rebuildIndex(res.Table)
-	m.reindexCast(res.Cast)
-	snap := &Snapshot{Epoch: 0, Net: net, Result: res}
-	m.snap.Store(snap)
-	if opts.OnPublish != nil {
-		opts.OnPublish(snap)
-	}
-	return m, nil
-}
-
-// routeFull recomputes the whole fabric from scratch on net.
-func (m *Manager) routeFull(net *graph.Network) (*routing.Result, error) {
-	dests := destinations(net)
-	if len(dests) == 0 {
-		return nil, errors.New("fabric: network has no destinations")
-	}
-	return m.nue.Route(net, dests, m.opts.MaxVCs)
+	st.RebuildIndex(res.Table)
+	st.ReindexCast(res.Cast)
+	return &Snapshot{Epoch: 0, Net: net, Result: res}, nil
 }
 
 // destinations returns the fabric's destination set: every terminal, or
@@ -255,67 +219,4 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.metrics
-}
-
-// rebuildIndex recomputes the channel->destinations inverted index from a
-// full table. Called under mu (or before the manager is published).
-func (m *Manager) rebuildIndex(t *routing.Table) {
-	m.destsUsing = make(map[graph.ChannelID]map[graph.NodeID]struct{})
-	m.destChans = make(map[graph.NodeID][]graph.ChannelID)
-	t.ForEach(func(sw, dest graph.NodeID, c graph.ChannelID) {
-		m.indexAdd(dest, c)
-	})
-}
-
-func (m *Manager) indexAdd(dest graph.NodeID, c graph.ChannelID) {
-	set := m.destsUsing[c]
-	if set == nil {
-		set = make(map[graph.NodeID]struct{})
-		m.destsUsing[c] = set
-	}
-	if _, ok := set[dest]; !ok {
-		set[dest] = struct{}{}
-		m.destChans[dest] = append(m.destChans[dest], c)
-	}
-}
-
-// reindexCast recomputes the channel->groups index from a published cast
-// table. Called under mu (or before the manager is published). Nil-safe.
-func (m *Manager) reindexCast(cast *routing.CastTable) {
-	m.castChans = nil
-	if cast == nil {
-		return
-	}
-	m.castChans = make(map[graph.ChannelID][]int)
-	for _, id := range cast.IDs() {
-		for _, c := range cast.Group(id).Channels() {
-			m.castChans[c] = append(m.castChans[c], id)
-		}
-	}
-}
-
-// reindexDest refreshes the index entries of one destination after its
-// column changed.
-func (m *Manager) reindexDest(t *routing.Table, dest graph.NodeID) {
-	for _, c := range m.destChans[dest] {
-		delete(m.destsUsing[c], dest)
-	}
-	m.destChans[dest] = m.destChans[dest][:0]
-	seen := make(map[graph.ChannelID]struct{})
-	net := m.working
-	for n := 0; n < net.NumNodes(); n++ {
-		v := graph.NodeID(n)
-		if !net.IsSwitch(v) {
-			continue
-		}
-		c := t.Next(v, dest)
-		if c == graph.NoChannel {
-			continue
-		}
-		if _, ok := seen[c]; ok {
-			continue
-		}
-		seen[c] = struct{}{}
-		m.indexAdd(dest, c)
-	}
 }

@@ -129,7 +129,7 @@ func TestSwitchFailAndJoin(t *testing.T) {
 	}
 	snap := m.View()
 	for _, term := range snap.Net.Terminals() {
-		if snap.Net.Degree(term) == 0 && len(m.destChans[term]) != 0 {
+		if snap.Net.Degree(term) == 0 && len(m.st.destChans[term]) != 0 {
 			t.Fatalf("disconnected terminal %d still indexed", term)
 		}
 	}

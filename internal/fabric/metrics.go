@@ -35,6 +35,9 @@ type EventReport struct {
 	// whole fabric had to be re-routed from scratch.
 	LayerRebuilds int
 	FullRecompute bool
+	// RootsReused counts layer repairs that accepted a cached escape root,
+	// skipping the betweenness-centrality pass.
+	RootsReused int
 	// Seeded counts the surviving old-configuration dependencies carried
 	// into the repair CDGs (the UPR-style old+new union).
 	Seeded cdg.SeedStats
@@ -79,6 +82,8 @@ type Metrics struct {
 	RepairedDests, DestRoutes int
 	// LayerRebuilds and FullRecomputes count repair fallbacks.
 	LayerRebuilds, FullRecomputes int
+	// RootsReused counts layer repairs served from the escape-root cache.
+	RootsReused int
 	// Delta accumulates per-event table deltas.
 	Delta routing.TableDelta
 	// RepairTime sums reconfiguration latencies.
@@ -137,6 +142,11 @@ func recordEvent(tm *telemetry.FabricMetrics, r *EventReport, err error) {
 	})
 }
 
+// Add folds one event report into the lifetime aggregates. Exported for
+// control planes outside this package (internal/shard) that reuse
+// EventReport/Metrics for their own epoch accounting.
+func (m *Metrics) Add(r *EventReport) { m.add(r) }
+
 func (m *Metrics) add(r *EventReport) {
 	m.Events++
 	if r.NoOp {
@@ -146,6 +156,7 @@ func (m *Metrics) add(r *EventReport) {
 	m.RepairedDests += r.RepairedDests
 	m.DestRoutes += r.TotalDests
 	m.LayerRebuilds += r.LayerRebuilds
+	m.RootsReused += r.RootsReused
 	if r.FullRecompute {
 		m.FullRecomputes++
 	}

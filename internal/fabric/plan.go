@@ -1,0 +1,379 @@
+package fabric
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mcast"
+	"repro/internal/routing"
+	"repro/internal/routing/verify"
+)
+
+// LayerJob is one virtual layer's share of an event repair: the
+// destinations to re-route and the layer's surviving destinations whose
+// dependencies seed the repair CDG. Jobs of one event own disjoint table
+// columns, so any subset may run concurrently; each job's output depends
+// only on its own inputs, never on scheduling — the property the sharded
+// control plane relies on for digest-equal sharded-vs-monolithic tables.
+type LayerJob struct {
+	Layer  uint8
+	Repair []graph.NodeID
+	Kept   []graph.NodeID
+}
+
+// PlanJobs groups the affected destinations of one event by virtual
+// layer, in table destination order (deterministic).
+func PlanJobs(old *Snapshot, affected map[graph.NodeID]struct{}) []LayerJob {
+	oldRes := old.Result
+	dests := oldRes.Table.Dests()
+	byLayer := make(map[uint8]*LayerJob)
+	var layers []uint8
+	for i, d := range dests {
+		var l uint8
+		if oldRes.DestLayer != nil {
+			l = oldRes.DestLayer[i]
+		}
+		j := byLayer[l]
+		if j == nil {
+			j = &LayerJob{Layer: l}
+			byLayer[l] = j
+			layers = append(layers, l)
+		}
+		if _, ok := affected[d]; ok {
+			j.Repair = append(j.Repair, d)
+		} else {
+			j.Kept = append(j.Kept, d)
+		}
+	}
+	sort.Slice(layers, func(i, j int) bool { return layers[i] < layers[j] })
+	jobs := make([]LayerJob, 0, len(layers))
+	for _, l := range layers {
+		if j := byLayer[l]; len(j.Repair) > 0 {
+			jobs = append(jobs, *j)
+		}
+	}
+	return jobs
+}
+
+// JobExecutor schedules the planned layer jobs by calling run(i) for
+// each job index exactly once and returning when all calls finished.
+// Scheduling cannot change the output (jobs are independent and each
+// run(i) is deterministic in the job alone); it only changes where and
+// how concurrently the work happens — which is why sharded and
+// monolithic control planes produce digest-equal tables. The Manager
+// installs a bounded worker pool; the sharded control plane installs
+// region-affine execution that inspects the jobs to route them.
+type JobExecutor func(jobs []LayerJob, run func(i int))
+
+// SequentialJobs runs jobs one by one on the calling goroutine.
+func SequentialJobs(jobs []LayerJob, run func(i int)) {
+	for i := range jobs {
+		run(i)
+	}
+}
+
+// PooledJobs returns an executor running jobs on at most workers
+// goroutines (the Manager's default scheduling).
+func PooledJobs(workers int) JobExecutor {
+	return func(jobs []LayerJob, run func(i int)) {
+		runPooled(workers, len(jobs), run)
+	}
+}
+
+// escapeRoot caches one layer's escape-path root and its spanning tree.
+// While churn stays outside the tree, the root is re-passed as a repair
+// hint, eliding the Brandes betweenness pass that otherwise reruns from
+// scratch on every event (the dominant repair cost on large fabrics).
+type escapeRoot struct {
+	root graph.NodeID
+	tree *graph.Tree
+}
+
+// Runner is the routing-computation half of a fabric controller: it owns
+// the Nue engine, executes planned repairs (with escape-root reuse), and
+// verifies/post-checks candidate results. It holds no epoch state and
+// publishes nothing — Manager and the sharded control plane layer epoch
+// ownership on top. Methods are not safe for concurrent use; the owner
+// serializes events.
+type Runner struct {
+	opts  Options
+	nue   *core.Nue
+	roots map[uint8]escapeRoot
+}
+
+// NewRunner builds the computation layer for the given options
+// (OnPublish is ignored — publication is the owner's job).
+func NewRunner(opts Options) *Runner {
+	if opts.MaxVCs <= 0 {
+		opts.MaxVCs = 4
+	}
+	nopts := core.DefaultOptions()
+	nopts.Seed = opts.Seed
+	nopts.Workers = opts.Workers
+	nopts.Telemetry = opts.EngineTelemetry
+	return &Runner{
+		opts:  opts,
+		nue:   core.New(nopts),
+		roots: make(map[uint8]escapeRoot),
+	}
+}
+
+// Options returns the runner's effective configuration.
+func (r *Runner) Options() Options { return r.opts }
+
+// RouteFull recomputes the whole fabric from scratch on net. The root
+// cache is dropped: full routings pick their own roots internally.
+func (r *Runner) RouteFull(net *graph.Network) (*routing.Result, error) {
+	dests := destinations(net)
+	if len(dests) == 0 {
+		return nil, errors.New("fabric: network has no destinations")
+	}
+	clear(r.roots)
+	return r.nue.Route(net, dests, r.opts.MaxVCs)
+}
+
+// InvalidateRoots drops cached escape roots the changed channels can no
+// longer vouch for: every cache entry whose tree contains a newly failed
+// channel, and — conservatively — every entry when a channel was
+// restored (a join can reconnect a component the old tree never spanned).
+func (r *Runner) InvalidateRoots(newNet *graph.Network, changed []graph.ChannelID) {
+	for _, c := range changed {
+		if !newNet.Channel(c).Failed {
+			clear(r.roots)
+			return
+		}
+	}
+	for l, er := range r.roots {
+		for _, c := range changed {
+			if er.tree.IsTreeChannel(c) {
+				delete(r.roots, l)
+				break
+			}
+		}
+	}
+}
+
+// RootCached reports whether layer l currently has a reusable escape
+// root (introspection for tests and reports).
+func (r *Runner) RootCached(l uint8) bool {
+	_, ok := r.roots[l]
+	return ok
+}
+
+// jobOutcome collects one layer job's result for report aggregation and
+// root-cache write-back.
+type jobOutcome struct {
+	stats   *core.RepairStats
+	rebuilt bool
+	err     error
+}
+
+// RunJob executes one planned layer job against table (bound to newNet):
+// the incremental repair, widened to the whole layer when infeasible. The
+// cached escape root of the layer, if still valid, is passed as a hint.
+// Safe to call concurrently for distinct jobs of one plan (the root cache
+// is only read here; write-back happens in Retable after the barrier).
+func (r *Runner) RunJob(newNet *graph.Network, table *routing.Table, job LayerJob) jobOutcome {
+	var out jobOutcome
+	req := core.RepairRequest{
+		Net:    newNet,
+		Table:  table,
+		Repair: job.Repair,
+		Kept:   job.Kept,
+	}
+	if er, ok := r.roots[job.Layer]; ok {
+		req.RootHint, req.HasRootHint = er.root, true
+	}
+	out.stats, out.err = r.nue.RepairLayer(req)
+	if errors.Is(out.err, core.ErrRepairInfeasible) {
+		// The kept routes conflict with the repair's escape paths: widen
+		// to the whole layer, which always succeeds.
+		out.rebuilt = true
+		all := append(append([]graph.NodeID(nil), job.Repair...), job.Kept...)
+		wide := req
+		wide.Repair, wide.Kept = all, nil
+		out.stats, out.err = r.nue.RepairLayer(wide)
+	}
+	return out
+}
+
+// Retable computes the post-event routing for newNet: the incremental
+// per-layer repair (scheduled by exec), falling back to a full recompute
+// when a layer fails or the combined result does not verify. It returns
+// the result and the destinations whose columns changed (nil after a
+// full recompute). This is pure computation — the caller owns mutation,
+// index maintenance, and publication.
+func (r *Runner) Retable(st *State, old *Snapshot, newNet *graph.Network, changed []graph.ChannelID,
+	report *EventReport, exec JobExecutor) (*routing.Result, []graph.NodeID, error) {
+
+	if r.opts.FullRecompute {
+		res, err := r.FullRecompute(st, newNet, changed, report)
+		return res, nil, err
+	}
+	if exec == nil {
+		exec = SequentialJobs
+	}
+	oldRes := old.Result
+	r.InvalidateRoots(newNet, changed)
+
+	table := oldRes.Table.Clone(newNet)
+	affected := st.AffectedDests(newNet, table, changed)
+	if len(affected) == 0 {
+		// Topology changed but no unicast route is impacted (e.g. failing
+		// an unused link): republish the same entries on the new network.
+		// Cast trees may still be hit — FinishResult repairs them.
+		res := resultWith(oldRes, table)
+		if err := r.FinishResult(st, newNet, res, oldRes.Cast, changed, report); err != nil {
+			return nil, nil, err
+		}
+		return res, nil, nil
+	}
+
+	jobs := PlanJobs(old, affected)
+	repairedList := make([]graph.NodeID, 0, len(affected))
+	for _, j := range jobs {
+		repairedList = append(repairedList, j.Repair...)
+	}
+	outs := make([]jobOutcome, len(jobs))
+	exec(jobs, func(i int) {
+		outs[i] = r.RunJob(newNet, table, jobs[i])
+	})
+	for i, j := range jobs {
+		out := outs[i]
+		if out.err != nil {
+			// Last resort: re-route the whole fabric.
+			res, err := r.FullRecompute(st, newNet, changed, report)
+			if err != nil {
+				return nil, nil, fmt.Errorf("layer %d repair failed (%v) and full recompute failed: %w", j.Layer, out.err, err)
+			}
+			return res, nil, nil
+		}
+		if out.stats.Tree != nil {
+			r.roots[j.Layer] = escapeRoot{root: out.stats.Root, tree: out.stats.Tree}
+		}
+		if out.stats.RootReused {
+			report.RootsReused++
+		}
+		if out.rebuilt {
+			report.LayerRebuilds++
+			repairedList = append(repairedList, j.Kept...)
+		}
+		report.RepairedDests += out.stats.Routed
+		report.UnreachableDests += out.stats.Unreachable
+		report.Seeded.Channels += out.stats.Seeded.Channels
+		report.Seeded.Deps += out.stats.Seeded.Deps
+	}
+
+	res := resultWith(oldRes, table)
+	if err := r.FinishResult(st, newNet, res, oldRes.Cast, changed, report); err != nil {
+		// Defense in depth: an invalid incremental transition is replaced
+		// by a verified full recompute.
+		full, ferr := r.FullRecompute(st, newNet, changed, report)
+		if ferr != nil {
+			return nil, nil, fmt.Errorf("incremental transition invalid (%v) and full recompute failed: %w", err, ferr)
+		}
+		return full, nil, nil
+	}
+	return res, repairedList, nil
+}
+
+// FinishResult completes a to-be-published result: the multicast trees
+// are repaired against the new routing (kept where their channels are
+// alive and their dependencies re-admit into the new union graph,
+// rebuilt otherwise, starting from the groups the changed channels
+// touch), and the combined configuration is verified / post-checked.
+// With no configured groups it reduces to MaybeVerify.
+func (r *Runner) FinishResult(st *State, newNet *graph.Network, res *routing.Result, oldCast *routing.CastTable,
+	changed []graph.ChannelID, report *EventReport) error {
+	if len(r.opts.Groups) > 0 {
+		rebuild := st.CastRebuildSet(changed)
+		cast, cs, err := mcast.Rebuild(newNet, res, oldCast, r.opts.Groups, rebuild, mcast.Options{Telemetry: r.opts.McastTelemetry})
+		if err != nil {
+			return fmt.Errorf("cast repair: %w", err)
+		}
+		res.Cast = cast
+		report.CastGroups = cs.Groups
+		report.CastKept = cs.Kept
+		report.CastRebuilt = cs.TreesBuilt
+		report.CastUBM = cs.UBMMembers
+	}
+	return r.MaybeVerify(newNet, res, report)
+}
+
+// FullRecompute routes the fabric (and its cast trees) from scratch and
+// verifies if required.
+func (r *Runner) FullRecompute(st *State, newNet *graph.Network, changed []graph.ChannelID, report *EventReport) (*routing.Result, error) {
+	res, err := r.RouteFull(newNet)
+	if err != nil {
+		return nil, err
+	}
+	report.FullRecompute = true
+	report.RepairedDests = report.TotalDests
+	if err := r.FinishResult(st, newNet, res, nil, nil, report); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MaybeVerify runs the configured verifier and post-check hook on a
+// candidate (network, result) pair.
+func (r *Runner) MaybeVerify(net *graph.Network, res *routing.Result, report *EventReport) error {
+	if r.opts.Verify {
+		if _, err := verify.Check(net, res, nil); err != nil {
+			return err
+		}
+		report.Verified = true
+	}
+	if r.opts.PostCheck != nil {
+		if err := r.opts.PostCheck(net, res); err != nil {
+			return fmt.Errorf("post-check: %w", err)
+		}
+		report.PostChecked = true
+	}
+	return nil
+}
+
+// resultWith rebinds an old result to a repaired table; layer assignment
+// and VC usage are invariants of incremental repair.
+func resultWith(old *routing.Result, table *routing.Table) *routing.Result {
+	return &routing.Result{
+		Algorithm: old.Algorithm,
+		Table:     table,
+		VCs:       old.VCs,
+		DestLayer: old.DestLayer,
+	}
+}
+
+// runPooled runs n independent tasks on at most workers goroutines.
+func runPooled(workers, n int, run func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	var next int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt32(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

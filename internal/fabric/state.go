@@ -1,0 +1,295 @@
+package fabric
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// State is the mutable bookkeeping half of a fabric controller: the
+// private working network, the desired link/switch up-down state, and the
+// inverted channel->destination / channel->cast-group indexes that make
+// the affected-set computation O(|changed channels|). It carries no epoch
+// ownership — no snapshots, no locks, no publication — so a sharded
+// control plane (internal/shard) can replicate and rebuild it from a
+// committed epoch while the single-process Manager embeds it directly.
+// All methods must run under the owner's event serialization.
+type State struct {
+	// working is the controller's private mutable network; published
+	// snapshots carry clones of it.
+	working *graph.Network
+	// linkFailed marks duplex links failed on their own (keyed by the
+	// canonical directed half); nodeDown marks failed switches. A link is
+	// down iff it failed explicitly or either endpoint is down, so a
+	// switch rejoining does not resurrect a link that also failed on its
+	// own.
+	linkFailed map[graph.ChannelID]bool
+	nodeDown   map[graph.NodeID]bool
+	// links lists, per node, the canonical duplex links attached to it
+	// (independent of current failed state).
+	links [][]graph.ChannelID
+	// destsUsing indexes, per directed channel, the destinations whose
+	// forwarding trees traverse it; destChans is the reverse view.
+	destsUsing map[graph.ChannelID]map[graph.NodeID]struct{}
+	destChans  map[graph.NodeID][]graph.ChannelID
+	// castChans indexes, per directed channel, the cast groups whose
+	// trees traverse it.
+	castChans map[graph.ChannelID][]int
+}
+
+// NewState adopts a clone of net as the working network. Links already
+// failed in the input count as explicit failures, so a later join can
+// restore them.
+func NewState(net *graph.Network) *State {
+	s := &State{
+		working:    net.Clone(),
+		linkFailed: make(map[graph.ChannelID]bool),
+		nodeDown:   make(map[graph.NodeID]bool),
+		links:      make([][]graph.ChannelID, net.NumNodes()),
+	}
+	for c := 0; c < s.working.NumChannels(); c++ {
+		id := graph.ChannelID(c)
+		if canonical(s.working, id) != id {
+			continue
+		}
+		ch := s.working.Channel(id)
+		s.links[ch.From] = append(s.links[ch.From], id)
+		s.links[ch.To] = append(s.links[ch.To], id)
+		if ch.Failed {
+			s.linkFailed[id] = true
+		}
+	}
+	return s
+}
+
+// Working returns the state's private mutable network. Callers must not
+// hand it out; published snapshots take clones.
+func (s *State) Working() *graph.Network { return s.working }
+
+// Bookkeeping returns deep copies of the explicit link-failed and
+// switch-down maps — the part of the state a replicated epoch log must
+// carry (it is not derivable from the network alone: a down link under a
+// down switch may or may not have failed on its own).
+func (s *State) Bookkeeping() (linkFailed map[graph.ChannelID]bool, nodeDown map[graph.NodeID]bool) {
+	linkFailed = make(map[graph.ChannelID]bool, len(s.linkFailed))
+	for k, v := range s.linkFailed {
+		linkFailed[k] = v
+	}
+	nodeDown = make(map[graph.NodeID]bool, len(s.nodeDown))
+	for k, v := range s.nodeDown {
+		nodeDown[k] = v
+	}
+	return linkFailed, nodeDown
+}
+
+// RestoreState rebuilds a State from a committed epoch: the epoch's
+// network (cloned) plus the replicated bookkeeping maps, which REPLACE
+// the explicit-failure inference NewState makes from the network (a link
+// that is down only because its switch is down must not be recorded as
+// explicitly failed, or a later switch join would strand it). The caller
+// must follow with RebuildIndex/ReindexCast for the epoch's tables.
+func RestoreState(net *graph.Network, linkFailed map[graph.ChannelID]bool, nodeDown map[graph.NodeID]bool) *State {
+	s := NewState(net)
+	s.linkFailed = make(map[graph.ChannelID]bool, len(linkFailed))
+	for k, v := range linkFailed {
+		s.linkFailed[k] = v
+	}
+	s.nodeDown = make(map[graph.NodeID]bool, len(nodeDown))
+	for k, v := range nodeDown {
+		s.nodeDown[k] = v
+	}
+	return s
+}
+
+// Mutate applies the structural change of ev to the working network and
+// returns the directed channels whose failed state flipped (empty for
+// no-ops), as (canonical, reverse) pairs.
+func (s *State) Mutate(ev Event) []graph.ChannelID {
+	var changed []graph.ChannelID
+	// sync re-evaluates one duplex link's desired state against the
+	// working network and records the flip.
+	sync := func(link graph.ChannelID) {
+		ch := s.working.Channel(link)
+		down := s.linkFailed[link] || s.nodeDown[ch.From] || s.nodeDown[ch.To]
+		if s.working.SetChannelFailed(link, down) {
+			changed = append(changed, link, ch.Reverse)
+		}
+	}
+	switch ev.Kind {
+	case LinkFail, LinkJoin:
+		link := canonical(s.working, ev.Link)
+		want := ev.Kind == LinkFail
+		if s.linkFailed[link] == want {
+			return nil
+		}
+		s.linkFailed[link] = want
+		sync(link)
+	case SwitchFail, SwitchJoin:
+		want := ev.Kind == SwitchFail
+		if s.nodeDown[ev.Node] == want {
+			return nil
+		}
+		s.nodeDown[ev.Node] = want
+		for _, link := range s.links[ev.Node] {
+			sync(link)
+		}
+	}
+	return changed
+}
+
+// Revert undoes Mutate after a failed reconfiguration so the state stays
+// consistent with the still-published epoch.
+func (s *State) Revert(ev Event, changed []graph.ChannelID) {
+	switch ev.Kind {
+	case LinkFail, LinkJoin:
+		link := canonical(s.working, ev.Link)
+		s.linkFailed[link] = ev.Kind != LinkFail
+	case SwitchFail, SwitchJoin:
+		s.nodeDown[ev.Node] = ev.Kind != SwitchFail
+	}
+	for i := 0; i < len(changed); i += 2 {
+		c := changed[i]
+		s.working.SetChannelFailed(c, !s.working.Channel(c).Failed)
+	}
+}
+
+// RebuildIndex recomputes the channel->destinations inverted index from a
+// full table.
+func (s *State) RebuildIndex(t *routing.Table) {
+	s.destsUsing = make(map[graph.ChannelID]map[graph.NodeID]struct{})
+	s.destChans = make(map[graph.NodeID][]graph.ChannelID)
+	t.ForEach(func(sw, dest graph.NodeID, c graph.ChannelID) {
+		s.indexAdd(dest, c)
+	})
+}
+
+func (s *State) indexAdd(dest graph.NodeID, c graph.ChannelID) {
+	set := s.destsUsing[c]
+	if set == nil {
+		set = make(map[graph.NodeID]struct{})
+		s.destsUsing[c] = set
+	}
+	if _, ok := set[dest]; !ok {
+		set[dest] = struct{}{}
+		s.destChans[dest] = append(s.destChans[dest], c)
+	}
+}
+
+// ReindexCast recomputes the channel->groups index from a published cast
+// table. Nil-safe.
+func (s *State) ReindexCast(cast *routing.CastTable) {
+	s.castChans = nil
+	if cast == nil {
+		return
+	}
+	s.castChans = make(map[graph.ChannelID][]int)
+	for _, id := range cast.IDs() {
+		for _, c := range cast.Group(id).Channels() {
+			s.castChans[c] = append(s.castChans[c], id)
+		}
+	}
+}
+
+// ReindexDest refreshes the index entries of one destination after its
+// column changed.
+func (s *State) ReindexDest(t *routing.Table, dest graph.NodeID) {
+	for _, c := range s.destChans[dest] {
+		delete(s.destsUsing[c], dest)
+	}
+	s.destChans[dest] = s.destChans[dest][:0]
+	seen := make(map[graph.ChannelID]struct{})
+	net := s.working
+	for n := 0; n < net.NumNodes(); n++ {
+		v := graph.NodeID(n)
+		if !net.IsSwitch(v) {
+			continue
+		}
+		c := t.Next(v, dest)
+		if c == graph.NoChannel {
+			continue
+		}
+		if _, ok := seen[c]; ok {
+			continue
+		}
+		seen[c] = struct{}{}
+		s.indexAdd(dest, c)
+	}
+}
+
+// AffectedDests computes the destinations an event must re-route on the
+// post-event network: for failed channels, exactly the ones whose
+// forwarding trees traverse them (the inverted index); for restored
+// channels, the ones with incomplete columns (disconnection healing);
+// plus destinations that just lost their last channel (their stale
+// columns must drop even though no path can be rebuilt).
+func (s *State) AffectedDests(newNet *graph.Network, table *routing.Table, changed []graph.ChannelID) map[graph.NodeID]struct{} {
+	affected := make(map[graph.NodeID]struct{})
+	restored := false
+	for _, c := range changed {
+		if newNet.Channel(c).Failed {
+			for d := range s.destsUsing[c] {
+				affected[d] = struct{}{}
+			}
+		} else {
+			restored = true
+		}
+	}
+	dests := table.Dests()
+	if restored {
+		for _, d := range dests {
+			if _, ok := affected[d]; ok || newNet.Degree(d) == 0 {
+				continue
+			}
+			for _, sw := range newNet.Switches() {
+				if newNet.Degree(sw) > 0 && sw != d && table.Next(sw, d) == graph.NoChannel {
+					affected[d] = struct{}{}
+					break
+				}
+			}
+		}
+	}
+	for _, d := range dests {
+		if newNet.Degree(d) == 0 && len(s.destChans[d]) > 0 {
+			affected[d] = struct{}{}
+		}
+	}
+	return affected
+}
+
+// CastRebuildSet maps changed channels to the cast groups whose trees
+// traverse them.
+func (s *State) CastRebuildSet(changed []graph.ChannelID) map[int]bool {
+	rebuild := make(map[int]bool)
+	for _, c := range changed {
+		for _, id := range s.castChans[c] {
+			rebuild[id] = true
+		}
+	}
+	return rebuild
+}
+
+// DownLinks returns the canonical halves of links currently failed on
+// their own, sorted (the restorable set for churn generators).
+func (s *State) DownLinks() []graph.ChannelID {
+	var down []graph.ChannelID
+	for link, failed := range s.linkFailed {
+		if failed {
+			down = append(down, link)
+		}
+	}
+	sortChannels(down)
+	return down
+}
+
+// DownSwitches returns the currently down switches, sorted.
+func (s *State) DownSwitches() []graph.NodeID {
+	var nodes []graph.NodeID
+	for n, down := range s.nodeDown {
+		if down {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}

@@ -12,7 +12,6 @@ type depGraph struct {
 	layers int
 	nv     int
 	adj    [][]int32
-	seen   map[uint64]struct{}
 	deps   int
 	// vEdges marks dependencies of cast V-type (branch contention
 	// between two outputs of one switch); witness extraction uses it to
@@ -26,7 +25,6 @@ func newDepGraph(channels, layers int) *depGraph {
 		layers: layers,
 		nv:     nv,
 		adj:    make([][]int32, nv),
-		seen:   make(map[uint64]struct{}),
 	}
 }
 
@@ -39,20 +37,24 @@ func (g *depGraph) add(a graph.ChannelID, va uint8, b graph.ChannelID, vb uint8)
 	g.addTyped(a, va, b, vb, false)
 }
 
-// addTyped is add with a cast V-type marker.
+// addTyped is add with a cast V-type marker. Dedup is a linear scan of
+// the source's adjacency list: a vertex's out-degree is bounded by the
+// radix of the channel's head switch (times the lane fan-out), so the
+// scan stays short — and it spares the graph a global edge-set map,
+// whose growth dominated dependency-build profiles.
 func (g *depGraph) addTyped(a graph.ChannelID, va uint8, b graph.ChannelID, vb uint8, vdep bool) {
 	u, v := g.vertex(a, va), g.vertex(b, vb)
-	key := uint64(uint32(u))<<32 | uint64(uint32(v))
 	if vdep {
 		if g.vEdges == nil {
 			g.vEdges = make(map[uint64]struct{})
 		}
-		g.vEdges[key] = struct{}{}
+		g.vEdges[uint64(uint32(u))<<32|uint64(uint32(v))] = struct{}{}
 	}
-	if _, ok := g.seen[key]; ok {
-		return
+	for _, w := range g.adj[u] {
+		if w == v {
+			return
+		}
 	}
-	g.seen[key] = struct{}{}
 	g.adj[u] = append(g.adj[u], v)
 	g.deps++
 }

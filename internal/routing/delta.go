@@ -100,6 +100,36 @@ func (d TableDelta) UnchangedFraction() float64 {
 	return float64(d.Same) / float64(t)
 }
 
+// Digest returns a deterministic FNV-1a fingerprint of the table's shape,
+// destination set and every next-hop entry. Two tables with equal digests
+// forward identically (up to hash collision); the sharded-vs-monolithic
+// differential tests and the replicated epoch log compare configurations
+// by this value instead of shipping full tables.
+func (t *Table) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	rows, cols := t.Shape()
+	mix(uint64(rows))
+	mix(uint64(cols))
+	for _, d := range t.dests {
+		mix(uint64(uint32(d)))
+	}
+	for _, c := range t.next {
+		mix(uint64(uint32(c)))
+	}
+	return h
+}
+
 // Shape returns the table dimensions: rows (switches) and cols
 // (destinations). next is indexed row-major: next[row*cols+col].
 func (t *Table) Shape() (rows, cols int) {

@@ -1,0 +1,523 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/routing"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// ErrNoLeader reports that the plane currently has no elected leader
+// (the last one died or was deposed); call Failover to elect one.
+var ErrNoLeader = errors.New("shard: no leader, run failover")
+
+// Options configures a Plane.
+type Options struct {
+	// Shards is the number of topology-aware regions (default 1).
+	Shards int
+	// Replicas is the epoch-log replication factor (default 1). Quorum is
+	// a strict majority, so 3 replicas survive one crash, 5 survive two.
+	Replicas int
+	// Fabric configures the embedded routing computation — the SAME
+	// options a monolithic fabric.Manager would take. Fabric.OnPublish is
+	// called once per committed epoch (leader publication);
+	// Fabric.Workers is unused (scheduling is region-affine).
+	Fabric fabric.Options
+	// OnReplicate, when non-nil, is called for every ALIVE replica after
+	// an epoch commits — the per-replica distribution seam (hand the
+	// snapshot to that replica's distrib.Source so a standby publisher
+	// can serve agents after failover).
+	OnReplicate func(replica int, snap *fabric.Snapshot)
+	// Telemetry, when non-nil, receives shard_* counters.
+	Telemetry *telemetry.ShardMetrics
+}
+
+// Report describes one sharded Apply: the fabric repair report plus the
+// control-plane view — which term/leader committed it, how the layer
+// jobs were scheduled across regions, and whether the seam had to be
+// certified (and vetoed).
+type Report struct {
+	fabric.EventReport
+	// Term and Leader identify the committing leadership.
+	Term   uint64
+	Leader int
+	// LocalJobs counts layer repairs run on their home region's shard;
+	// SeamJobs those escalated to the coordinator because their
+	// destinations span regions.
+	LocalJobs, SeamJobs int
+	// SeamCertified is true when the coordinator ran the oracle on the
+	// seam. SeamVeto carries the oracle witness when the proposed tables
+	// themselves were refuted (deadlock or owed route) — the plane then
+	// discarded them and recovered via a certified full recompute.
+	// SeamDrain is true when the tables stand but the cross-region old+new
+	// union was refuted, so the per-switch swap must be drained (the flag
+	// the distribution plane's own certifier re-derives); it does not
+	// change what is published, keeping sharded tables digest-equal to the
+	// monolithic manager's.
+	SeamCertified bool
+	SeamVeto      error
+	SeamDrain     bool
+}
+
+// Metrics aggregates a plane's lifetime, extending the fabric repair
+// aggregates with control-plane counters.
+type Metrics struct {
+	fabric.Metrics
+	LocalJobs, SeamJobs                   int
+	SeamCertified, SeamVetoes, SeamDrains int
+	EpochsCommitted, Deposals             int
+	Elections                             int
+}
+
+// Plane is a sharded, replicated fabric control plane. It exposes the
+// same Apply/View/Epoch surface as fabric.Manager, but every published
+// epoch is first committed to a majority of replicas under a leadership
+// term, layer repairs are scheduled region-affine, and cross-region
+// dependency changes are union-certified on the seam before commit.
+type Plane struct {
+	opts    Options
+	regions *Regions
+	cluster *Cluster
+
+	snap atomic.Pointer[fabric.Snapshot]
+
+	mu      sync.Mutex // serializes Apply/Failover; guards below
+	leader  int        // current leader replica, -1 when none
+	term    uint64
+	st      *fabric.State
+	run     *fabric.Runner
+	metrics Metrics
+
+	// beforeCommit, when non-nil, runs after the repair computation and
+	// before the quorum append — the hook failover tests use to kill the
+	// leader deterministically mid-apply.
+	beforeCommit func()
+	// tamper, when non-nil, mutates the candidate result after repair and
+	// before seam certification — the mutation-test hook for proving the
+	// coordinator vetoes cycle-forming seam proposals.
+	tamper func(*graph.Network, *routing.Result)
+}
+
+// New partitions tp, routes it from scratch, elects replica 0 leader and
+// commits the initial epoch to a quorum.
+func New(tp *topology.Topology, opts Options) (*Plane, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Replicas < 1 {
+		opts.Replicas = 1
+	}
+	p := &Plane{
+		opts:    opts,
+		regions: Partition(tp, opts.Shards),
+		cluster: NewCluster(opts.Replicas),
+		leader:  -1,
+	}
+	st := fabric.NewState(tp.Net)
+	run := fabric.NewRunner(opts.Fabric)
+	snap, err := fabric.InitialEpoch(st, run)
+	if err != nil {
+		return nil, err
+	}
+	term, err := p.cluster.TryElect(0)
+	if err != nil {
+		return nil, err
+	}
+	p.leader, p.term = 0, term
+	p.metrics.Elections++
+	if err := p.commit(snap, st, fabric.Event{}); err != nil {
+		return nil, err
+	}
+	p.st, p.run = st, run
+	p.publish(snap)
+	if t := opts.Telemetry; t != nil {
+		t.Elections.Inc()
+		t.Term.Set(int64(term))
+		t.Leader.Set(0)
+	}
+	return p, nil
+}
+
+// commit appends the epoch to the replicated log under the current term.
+// Callers hold mu (or run before the plane is shared).
+func (p *Plane) commit(snap *fabric.Snapshot, st *fabric.State, ev fabric.Event) error {
+	linkFailed, nodeDown := st.Bookkeeping()
+	err := p.cluster.Append(p.leader, p.term, Entry{
+		Epoch:      snap.Epoch,
+		Digest:     snap.Result.Table.Digest(),
+		Snap:       snap,
+		LinkFailed: linkFailed,
+		NodeDown:   nodeDown,
+		Event:      ev,
+	})
+	if err != nil {
+		p.leader = -1 // deposed or dead: stop proposing until failover
+		p.metrics.Deposals++
+		if t := p.opts.Telemetry; t != nil {
+			t.Deposed.Inc()
+			t.Leader.Set(-1)
+		}
+		return err
+	}
+	p.metrics.EpochsCommitted++
+	if t := p.opts.Telemetry; t != nil {
+		t.EpochsCommitted.Inc()
+	}
+	return nil
+}
+
+// publish installs a committed snapshot for readers and fans it out to
+// the leader publication hook and every alive replica.
+func (p *Plane) publish(snap *fabric.Snapshot) {
+	p.snap.Store(snap)
+	if p.opts.Fabric.OnPublish != nil {
+		p.opts.Fabric.OnPublish(snap)
+	}
+	if p.opts.OnReplicate != nil {
+		for id := 0; id < p.cluster.Size(); id++ {
+			if p.cluster.Alive(id) {
+				p.opts.OnReplicate(id, snap)
+			}
+		}
+	}
+}
+
+// Apply processes one churn event through the sharded plane: repair
+// (region-affine scheduling, seam certification), quorum commit, publish.
+// The forwarding tables it publishes are digest-equal to what a
+// monolithic fabric.Manager publishes for the same trace — scheduling
+// and ownership differ, the computation does not.
+func (p *Plane) Apply(ev fabric.Event) (*Report, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.leader < 0 {
+		return nil, ErrNoLeader
+	}
+	start := time.Now()
+	old := p.snap.Load()
+	rep := &Report{Term: p.term, Leader: p.leader}
+	rep.Event = ev
+	rep.Epoch = old.Epoch
+	rep.TotalDests = len(old.Result.Table.Dests())
+
+	changed := p.st.Mutate(ev)
+	if len(changed) == 0 {
+		rep.NoOp = true
+		rep.Latency = time.Since(start)
+		p.metrics.Add(&rep.EventReport)
+		return rep, nil
+	}
+
+	newNet := p.st.Working().Clone()
+	res, repaired, err := p.run.Retable(p.st, old, newNet, changed, &rep.EventReport, p.regionExec(newNet, rep))
+	if err != nil {
+		p.st.Revert(ev, changed)
+		return nil, fmt.Errorf("shard: %s: %w", ev, err)
+	}
+	if p.tamper != nil {
+		p.tamper(newNet, res)
+	}
+
+	// Seam certification: when the DEPENDENCY change crossed a region
+	// boundary — a seam channel flipped, or the repair changed which seam
+	// channels serve a destination — the coordinator certifies the
+	// cross-region old+new CDG union (UPR-style,
+	// oracle.CertifyTransition) before anything may commit. Scheduling
+	// escalation (SeamJobs) is deliberately NOT the trigger: a job runs
+	// on the coordinator merely because its destinations span regions,
+	// which says nothing about the seam's dependency structure, and
+	// certifying every such epoch would put two oracle passes on the
+	// common publish path (TestBenchGuardShard pins the ratio).
+	//
+	// A refuted union is then attributed. Almost always the new tables
+	// are clean and the cycle only means the per-switch swap cannot run
+	// unsynchronized — the tables stand and the epoch carries a drain
+	// requirement, exactly like the distribution plane's own certifier
+	// decides. But if the PROPOSAL itself is refuted (a cycle in its own
+	// dependency graph — only possible through corruption, the mutation
+	// test's territory), it is vetoed, discarded and recovered by a
+	// from-scratch recompute that must certify. Attribution is staged by
+	// cost: the walkless CertifyDeps screen on every refuted union, the
+	// full walk-based Certify (whose witness the veto carries) only on
+	// structural suspicion. Keeping the union check advisory is what
+	// preserves digest equality with the monolithic manager: widened
+	// layer rebuilds legitimately produce drain-requiring transitions.
+	if p.seamEscalated(newNet, old.Result.Table, res.Table, repaired, changed) {
+		rep.SeamCertified = true
+		p.metrics.SeamCertified++
+		if t := p.opts.Telemetry; t != nil {
+			t.SeamCertified.Inc()
+		}
+		if _, terr := oracle.CertifyTransition(newNet, old.Result, res, oracle.Options{}); terr != nil {
+			veto := false
+			if _, derr := oracle.CertifyDeps(newNet, res, oracle.Options{}); derr != nil {
+				_, cerr := oracle.Certify(newNet, res, oracle.Options{})
+				veto = cerr != nil
+				if veto {
+					rep.SeamVeto = cerr
+					p.metrics.SeamVetoes++
+					if t := p.opts.Telemetry; t != nil {
+						t.SeamVetoes.Inc()
+					}
+					res, err = p.run.FullRecompute(p.st, newNet, changed, &rep.EventReport)
+					if err == nil {
+						_, err = oracle.Certify(newNet, res, oracle.Options{})
+					}
+					if err != nil {
+						p.st.Revert(ev, changed)
+						return nil, fmt.Errorf("shard: %s: seam veto unrecoverable: %w", ev, err)
+					}
+					repaired = nil
+					if _, terr := oracle.CertifyTransition(newNet, old.Result, res, oracle.Options{}); terr != nil {
+						rep.SeamDrain = true
+					}
+				}
+			}
+			if !veto {
+				rep.SeamDrain = true
+			}
+			if rep.SeamDrain {
+				p.metrics.SeamDrains++
+				if t := p.opts.Telemetry; t != nil {
+					t.SeamDrains.Inc()
+				}
+			}
+		}
+	}
+
+	if p.beforeCommit != nil {
+		p.beforeCommit()
+	}
+
+	rep.Delta = routing.Diff(old.Result.Table, res.Table)
+	rep.Epoch = old.Epoch + 1
+	snap := &fabric.Snapshot{Epoch: rep.Epoch, Net: newNet, Result: res}
+	if err := p.commit(snap, p.st, ev); err != nil {
+		// The term lost its quorum (leader killed or partitioned away):
+		// nothing was published; a successor recomputes from the last
+		// committed epoch.
+		p.st.Revert(ev, changed)
+		return nil, fmt.Errorf("shard: %s: %w", ev, err)
+	}
+
+	// Only a committed epoch may update the derived indexes and become
+	// visible to readers and agents.
+	if rep.FullRecompute {
+		p.st.RebuildIndex(res.Table)
+	} else {
+		for _, d := range repaired {
+			p.st.ReindexDest(res.Table, d)
+		}
+	}
+	p.st.ReindexCast(res.Cast)
+	rep.Latency = time.Since(start)
+	p.publish(snap)
+	p.metrics.Add(&rep.EventReport)
+	p.metrics.LocalJobs += rep.LocalJobs
+	p.metrics.SeamJobs += rep.SeamJobs
+	p.recordEpoch(rep)
+	return rep, nil
+}
+
+// regionExec schedules layer jobs region-affine: jobs whose repair
+// destinations live in one region run on that region's shard goroutine
+// (sequentially within a shard — each shard is one controller), jobs
+// spanning regions run on the coordinator (the calling goroutine).
+func (p *Plane) regionExec(newNet *graph.Network, rep *Report) fabric.JobExecutor {
+	return func(jobs []fabric.LayerJob, run func(i int)) {
+		byRegion := make(map[int][]int)
+		var coord []int
+		for i, j := range jobs {
+			if home := p.regions.HomeRegion(nil, j.Repair, newNet); home >= 0 {
+				byRegion[home] = append(byRegion[home], i)
+			} else {
+				coord = append(coord, i)
+			}
+		}
+		rep.LocalJobs += len(jobs) - len(coord)
+		rep.SeamJobs += len(coord)
+		if t := p.opts.Telemetry; t != nil {
+			t.LocalJobs.Add(int64(len(jobs) - len(coord)))
+			t.SeamJobs.Add(int64(len(coord)))
+		}
+		var wg sync.WaitGroup
+		for _, idxs := range byRegion {
+			wg.Add(1)
+			go func(idxs []int) {
+				defer wg.Done()
+				for _, i := range idxs {
+					run(i)
+				}
+			}(idxs)
+		}
+		for _, i := range coord {
+			run(i)
+		}
+		wg.Wait()
+	}
+}
+
+// seamEscalated reports whether the event changed the dependency
+// structure ON the seam: a seam channel itself flipped, or the repair
+// changed a repaired destination's seam occupancy — which seam channels
+// carry it (usage toggled at the channel's tail) or where it continues
+// after crossing (the next hop at a used seam channel's head changed).
+// Entries of non-repaired destinations are untouched by contract, so
+// only the repaired columns are scanned; a full recompute (repaired ==
+// nil) scans every destination.
+func (p *Plane) seamEscalated(net *graph.Network, oldT, newT *routing.Table, repaired []graph.NodeID, changed []graph.ChannelID) bool {
+	for _, c := range changed {
+		if p.regions.Seam(c) {
+			return true
+		}
+	}
+	dests := repaired
+	if dests == nil {
+		dests = newT.Dests()
+	}
+	for _, c := range p.regions.SeamChannels() {
+		ch := net.Channel(c)
+		for _, d := range dests {
+			usedOld := oldT.Next(ch.From, d) == c
+			if usedOld != (newT.Next(ch.From, d) == c) {
+				return true
+			}
+			if usedOld && oldT.Next(ch.To, d) != newT.Next(ch.To, d) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Failover elects a new leader deterministically — the lowest-numbered
+// alive replica that can assemble a vote quorum — and rebuilds the
+// controller state from the last committed epoch: restored bookkeeping,
+// rebuilt inverted indexes, fresh runner (escape-root caches start
+// cold). Returns the new leader and term.
+func (p *Plane) Failover() (leader int, term uint64, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var lastErr error = ErrNoQuorum
+	for id := 0; id < p.cluster.Size(); id++ {
+		if !p.cluster.Alive(id) {
+			continue
+		}
+		t, e := p.cluster.TryElect(id)
+		if e != nil {
+			lastErr = e
+			continue
+		}
+		entry, ok := p.cluster.Committed()
+		if !ok {
+			return -1, 0, errors.New("shard: no committed epoch to restore from")
+		}
+		p.leader, p.term = id, t
+		p.st = fabric.RestoreState(entry.Snap.Net, entry.LinkFailed, entry.NodeDown)
+		p.st.RebuildIndex(entry.Snap.Result.Table)
+		p.st.ReindexCast(entry.Snap.Result.Cast)
+		p.run = fabric.NewRunner(p.opts.Fabric)
+		p.snap.Store(entry.Snap)
+		p.metrics.Elections++
+		if tm := p.opts.Telemetry; tm != nil {
+			tm.Elections.Inc()
+			tm.Term.Set(int64(t))
+			tm.Leader.Set(int64(id))
+		}
+		return id, t, nil
+	}
+	return -1, 0, lastErr
+}
+
+// Kill marks a replica dead (fault injection). Killing the leader does
+// not interrupt an in-flight Apply's computation — its quorum append
+// simply fails, so the epoch never commits; the plane then reports
+// ErrNoLeader until Failover.
+func (p *Plane) Kill(id int) { p.cluster.Kill(id) }
+
+// Revive brings a dead replica back (log intact).
+func (p *Plane) Revive(id int) { p.cluster.Revive(id) }
+
+// Cluster exposes the replicated log for tests and fault injection.
+func (p *Plane) Cluster() *Cluster { return p.cluster }
+
+// Regions exposes the partition.
+func (p *Plane) Regions() *Regions { return p.regions }
+
+// View returns the current committed snapshot.
+func (p *Plane) View() *fabric.Snapshot { return p.snap.Load() }
+
+// Epoch returns the current committed epoch.
+func (p *Plane) Epoch() uint64 { return p.snap.Load().Epoch }
+
+// NextHop mirrors fabric.Manager.NextHop on the committed snapshot.
+func (p *Plane) NextHop(n, d graph.NodeID) graph.ChannelID {
+	return p.snap.Load().Result.Table.Next(n, d)
+}
+
+// Leader returns the current leader replica (-1 when none) and term.
+func (p *Plane) Leader() (int, uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.leader, p.term
+}
+
+// Metrics returns a copy of the lifetime aggregates.
+func (p *Plane) Metrics() Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.metrics
+}
+
+// SetBeforeCommit installs a hook running between repair computation and
+// quorum append (test-only: deterministic mid-apply fault injection).
+func (p *Plane) SetBeforeCommit(f func()) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.beforeCommit = f
+}
+
+// TamperForTest installs a result-mutation hook running before seam
+// certification (test-only: prove the coordinator vetoes cycle-forming
+// seam proposals with a concrete oracle witness).
+func (p *Plane) TamperForTest(f func(*graph.Network, *routing.Result)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tamper = f
+}
+
+// recordEpoch emits one committed epoch into the telemetry ring.
+func (p *Plane) recordEpoch(rep *Report) {
+	t := p.opts.Telemetry
+	if t == nil {
+		return
+	}
+	t.Term.Set(int64(rep.Term))
+	t.Leader.Set(int64(rep.Leader))
+	seam := int64(0)
+	if rep.SeamCertified {
+		seam = 1
+	}
+	drain := int64(0)
+	if rep.SeamDrain {
+		drain = 1
+	}
+	t.Events.Emit("shard_epoch", map[string]int64{
+		"epoch":      int64(rep.Epoch),
+		"term":       int64(rep.Term),
+		"leader":     int64(rep.Leader),
+		"local_jobs": int64(rep.LocalJobs),
+		"seam_jobs":  int64(rep.SeamJobs),
+		"seam_cert":  seam,
+		"seam_drain": drain,
+		"latency_ns": rep.Latency.Nanoseconds(),
+	})
+}

@@ -1,0 +1,443 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/graph"
+	"repro/internal/oracle"
+	"repro/internal/routing"
+	"repro/internal/routing/verify"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// churnGen draws connectivity-preserving churn events against its own
+// shadow fabric.State, so tests can drive a Plane (which exposes no
+// event generator) with the same trace semantics fabric.Manager tests
+// use. next tracks the event as applied; a test that re-proposes a
+// failed event must reuse the returned event, not draw a new one.
+type churnGen struct {
+	st  *fabric.State
+	rng *rand.Rand
+}
+
+func newChurnGen(tp *topology.Topology, seed int64) *churnGen {
+	return &churnGen{st: fabric.NewState(tp.Net), rng: rand.New(rand.NewSource(seed))}
+}
+
+func (g *churnGen) next(t *testing.T, pJoin float64) fabric.Event {
+	t.Helper()
+	ev, ok := g.st.RandomEvent(g.rng, pJoin)
+	if !ok {
+		t.Fatal("no churn event possible")
+	}
+	g.st.Mutate(ev)
+	return ev
+}
+
+// assertCommitted checks the published snapshot against the replicated
+// log: the epoch must be committed, under exactly one term, with the
+// published table's digest.
+func assertCommitted(t *testing.T, p *Plane) {
+	t.Helper()
+	snap := p.View()
+	entry, ok := p.Cluster().CommittedAt(snap.Epoch)
+	if !ok {
+		t.Fatalf("published epoch %d not committed on a quorum", snap.Epoch)
+	}
+	if got, want := entry.Digest, snap.Result.Table.Digest(); got != want {
+		t.Fatalf("epoch %d: committed digest %#x, published %#x", snap.Epoch, got, want)
+	}
+	if terms := p.Cluster().CommittedTermsAt(snap.Epoch); len(terms) != 1 {
+		t.Fatalf("epoch %d committed under terms %v, want exactly one", snap.Epoch, terms)
+	}
+}
+
+// TestPlaneChurnDragonfly drives link churn through a 4-shard, 3-replica
+// plane on a Dragonfly: every epoch must verify, commit to a quorum
+// under one term, and be digest-recorded in the replicated log; the
+// telemetry counters must mirror the plane's aggregates.
+func TestPlaneChurnDragonfly(t *testing.T) {
+	reg := telemetry.New()
+	tp := topology.Dragonfly(4, 2, 2, 9)
+	p, err := New(tp, Options{
+		Shards:    4,
+		Replicas:  3,
+		Fabric:    fabric.Options{MaxVCs: 4, Seed: 1, Verify: true},
+		Telemetry: reg.Shard(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leader, term := p.Leader(); leader != 0 || term != 1 {
+		t.Fatalf("initial leadership = (%d, %d), want (0, 1)", leader, term)
+	}
+	assertCommitted(t, p)
+
+	gen := newChurnGen(tp, 7)
+	const events = 12
+	for i := 0; i < events; i++ {
+		ev := gen.next(t, 0.3)
+		rep, err := p.Apply(ev)
+		if err != nil {
+			t.Fatalf("event %d (%s): %v", i, ev, err)
+		}
+		if rep.NoOp {
+			t.Fatalf("event %d (%s): unexpected no-op", i, ev)
+		}
+		if rep.Term != 1 || rep.Leader != 0 {
+			t.Fatalf("event %d committed under (%d, %d), want (0, 1)", i, rep.Leader, rep.Term)
+		}
+		snap := p.View()
+		if snap.Epoch != rep.Epoch || snap.Epoch != uint64(i+1) {
+			t.Fatalf("event %d: snapshot epoch %d, report %d, want %d", i, snap.Epoch, rep.Epoch, i+1)
+		}
+		if !rep.Verified {
+			t.Fatalf("event %d: transition not verified", i)
+		}
+		if _, err := verify.Check(snap.Net, snap.Result, nil); err != nil {
+			t.Fatalf("event %d: published snapshot invalid: %v", i, err)
+		}
+		if rep.SeamVeto != nil {
+			t.Fatalf("event %d: legitimate repair vetoed: %v", i, rep.SeamVeto)
+		}
+		assertCommitted(t, p)
+	}
+
+	m := p.Metrics()
+	if m.Events != events {
+		t.Fatalf("metrics counted %d events, want %d", m.Events, events)
+	}
+	if m.EpochsCommitted != events+1 {
+		t.Fatalf("epochs committed = %d, want %d (initial + events)", m.EpochsCommitted, events+1)
+	}
+	if m.LocalJobs+m.SeamJobs == 0 {
+		t.Fatal("no layer job was ever scheduled")
+	}
+	if m.SeamVetoes != 0 {
+		t.Fatalf("%d seam vetoes on legitimate churn", m.SeamVetoes)
+	}
+	if m.Deposals != 0 || m.Elections != 1 {
+		t.Fatalf("unexpected leadership churn: %d deposals, %d elections", m.Deposals, m.Elections)
+	}
+
+	s := reg.Snapshot()
+	if got := s.Counters["shard_epochs_committed_total"]; got != int64(m.EpochsCommitted) {
+		t.Errorf("shard_epochs_committed_total = %d, want %d", got, m.EpochsCommitted)
+	}
+	if got := s.Counters["shard_local_jobs_total"] + s.Counters["shard_seam_jobs_total"]; got != int64(m.LocalJobs+m.SeamJobs) {
+		t.Errorf("job counters = %d, want %d", got, m.LocalJobs+m.SeamJobs)
+	}
+	if s.Gauges["shard_term"] != 1 || s.Gauges["shard_leader"] != 0 {
+		t.Errorf("telemetry leadership = (%d, %d), want (0, 1)",
+			s.Gauges["shard_leader"], s.Gauges["shard_term"])
+	}
+}
+
+// TestKillLeaderMidRepair kills the leader BETWEEN the repair
+// computation and the quorum append (the beforeCommit hook): the epoch
+// must not commit or publish, the plane must refuse further events
+// until failover, and the re-proposed event must commit cleanly under
+// the successor's term — with zero uncertified epochs throughout.
+func TestKillLeaderMidRepair(t *testing.T) {
+	tp := topology.Dragonfly(4, 2, 2, 9)
+	p, err := New(tp, Options{
+		Shards:   4,
+		Replicas: 3,
+		Fabric:   fabric.Options{MaxVCs: 4, Seed: 1, Verify: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := newChurnGen(tp, 11)
+	for i := 0; i < 3; i++ {
+		if _, err := p.Apply(gen.next(t, 0.3)); err != nil {
+			t.Fatalf("warm-up event %d: %v", i, err)
+		}
+	}
+	before := p.View()
+
+	// Arm the mid-repair kill: the leader dies after computing the repair
+	// but before proposing it to the log.
+	armed := true
+	p.SetBeforeCommit(func() {
+		if armed {
+			armed = false
+			p.Kill(0)
+		}
+	})
+	ev := gen.next(t, 0.3)
+	if _, err := p.Apply(ev); !errors.Is(err, ErrDeposed) {
+		t.Fatalf("apply with killed leader: err=%v, want ErrDeposed", err)
+	}
+	p.SetBeforeCommit(nil)
+
+	// Nothing may have committed or published.
+	if got := p.View(); got.Epoch != before.Epoch {
+		t.Fatalf("epoch moved to %d after a failed commit, want %d", got.Epoch, before.Epoch)
+	}
+	if _, ok := p.Cluster().CommittedAt(before.Epoch + 1); ok {
+		t.Fatal("the aborted epoch reached a commit quorum")
+	}
+	if terms := p.Cluster().CommittedTermsAt(before.Epoch + 1); len(terms) != 0 {
+		t.Fatalf("aborted epoch committed under terms %v", terms)
+	}
+
+	// The plane refuses events until failover.
+	if _, err := p.Apply(ev); !errors.Is(err, ErrNoLeader) {
+		t.Fatalf("apply without leader: err=%v, want ErrNoLeader", err)
+	}
+
+	leader, term, err := p.Failover()
+	if err != nil {
+		t.Fatalf("failover: %v", err)
+	}
+	if leader != 1 || term < 2 {
+		t.Fatalf("failover elected (%d, %d), want replica 1 at a later term", leader, term)
+	}
+	if got := p.View(); got.Epoch != before.Epoch {
+		t.Fatalf("failover restored epoch %d, want %d", got.Epoch, before.Epoch)
+	}
+
+	// Re-propose the same event on the successor: it must commit.
+	rep, err := p.Apply(ev)
+	if err != nil {
+		t.Fatalf("re-proposed event: %v", err)
+	}
+	if rep.Leader != 1 || rep.Term != term {
+		t.Fatalf("re-proposed epoch committed under (%d, %d), want (1, %d)", rep.Leader, rep.Term, term)
+	}
+	snap := p.View()
+	if snap.Epoch != before.Epoch+1 {
+		t.Fatalf("epoch = %d, want %d", snap.Epoch, before.Epoch+1)
+	}
+	if _, err := verify.Check(snap.Net, snap.Result, nil); err != nil {
+		t.Fatalf("post-failover snapshot invalid: %v", err)
+	}
+	assertCommitted(t, p)
+
+	// Drop to one alive replica: no quorum, no progress, until revival.
+	p.Kill(1)
+	if _, err := p.Apply(gen.next(t, 0.3)); err == nil {
+		t.Fatal("apply committed with 1/3 replicas alive")
+	}
+	if _, _, err := p.Failover(); !errors.Is(err, ErrNoQuorum) {
+		t.Fatalf("failover with 1/3 alive: err=%v, want ErrNoQuorum", err)
+	}
+	p.Revive(0)
+	if leader, _, err = p.Failover(); err != nil {
+		t.Fatalf("failover after revival: %v", err)
+	}
+	if leader != 2 {
+		// Replica 0 missed the epochs committed while it was dead; the
+		// election restriction must have rejected it.
+		t.Fatalf("failover elected stale replica %d, want 2", leader)
+	}
+	// The plane keeps working; every epoch ever published stays committed.
+	for i := 0; i < 3; i++ {
+		if _, err := p.Apply(gen.next(t, 0.3)); err != nil {
+			t.Fatalf("post-recovery event %d: %v", i, err)
+		}
+		assertCommitted(t, p)
+	}
+	for e := uint64(0); e <= p.Epoch(); e++ {
+		if terms := p.Cluster().CommittedTermsAt(e); len(terms) != 1 {
+			t.Fatalf("epoch %d committed under terms %v, want exactly one", e, terms)
+		}
+	}
+	m := p.Metrics()
+	if m.Deposals == 0 || m.Elections < 3 {
+		t.Fatalf("metrics missed the leadership churn: %+v", m)
+	}
+}
+
+// chanBetween returns the directed channel u -> v (NoChannel when none).
+func chanBetween(net *graph.Network, u, v graph.NodeID) graph.ChannelID {
+	for _, c := range net.Out(u) {
+		if net.Channel(c).To == v {
+			return c
+		}
+	}
+	return graph.NoChannel
+}
+
+// TestSeamVetoMutation is the mutation test of the coordinator's seam
+// certification: a tampered repair result carrying a seam-escalated,
+// cycle-forming dependency triangle must be vetoed with a concrete,
+// independently validated oracle witness, and the plane must recover by
+// publishing a certified full recompute instead.
+//
+// The tamper re-routes three same-layer destinations around a directed
+// switch triangle s0 -> s1 -> s2 -> s0 so that each destination's walk
+// stays loop-free (the oracle's route walk passes) while their combined
+// channel dependencies close a cycle — exactly the class of fault the
+// route-level checks cannot see and only the CDG cycle search refutes.
+func TestSeamVetoMutation(t *testing.T) {
+	tp := topology.Dragonfly(4, 2, 2, 9)
+	// One virtual layer puts every destination in the same CDG, so the
+	// dependency triangle below is guaranteed to share a layer.
+	p, err := New(tp, Options{
+		Shards:   4,
+		Replicas: 3,
+		Fabric:   fabric.Options{MaxVCs: 1, Seed: 1, Verify: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := p.View().Net
+
+	// The event: fail a seam (inter-region) link that keeps the fabric
+	// connected, forcing coordinator escalation.
+	var seamLink graph.ChannelID = graph.NoChannel
+	probe := net.Clone()
+	for c := 0; c < net.NumChannels(); c++ {
+		id := graph.ChannelID(c)
+		ch := net.Channel(id)
+		if !p.Regions().Seam(id) || ch.Failed || !net.IsSwitch(ch.From) || !net.IsSwitch(ch.To) {
+			continue
+		}
+		probe.SetChannelFailed(id, true)
+		ok := graph.Connected(probe)
+		probe.SetChannelFailed(id, false)
+		if ok {
+			seamLink = id
+			break
+		}
+	}
+	if seamLink == graph.NoChannel {
+		t.Fatal("no connectivity-preserving seam link found")
+	}
+
+	// The dependency triangle: three switches of one Dragonfly group
+	// (locally all-to-all) away from the failed link, with one terminal
+	// each.
+	failFrom := net.Channel(seamLink).From
+	var ring [3]graph.NodeID
+	var rdst [3]graph.NodeID
+	found := false
+	groups := dragonflyGroups(net, net.Switches())
+	switches := net.Switches()
+	byGroup := make(map[int][]graph.NodeID)
+	for i, sw := range switches {
+		byGroup[groups[i]] = append(byGroup[groups[i]], sw)
+	}
+	avoid := groups[0] // group index of the failed link's origin
+	for i, sw := range switches {
+		if sw == failFrom {
+			avoid = groups[i]
+		}
+	}
+	terminalOf := func(sw graph.NodeID) graph.NodeID {
+		for _, c := range net.Out(sw) {
+			if net.IsTerminal(net.Channel(c).To) {
+				return net.Channel(c).To
+			}
+		}
+		return graph.NoNode
+	}
+	for g, sws := range byGroup {
+		if g == avoid || len(sws) < 3 {
+			continue
+		}
+		ring = [3]graph.NodeID{sws[0], sws[1], sws[2]}
+		// rdst[i] is served over the triangle edge leaving ring[i]: the
+		// destination attached to ring[(i+2)%3].
+		ok := true
+		for i := range ring {
+			if rdst[i] = terminalOf(ring[(i+2)%3]); rdst[i] == graph.NoNode {
+				ok = false
+			}
+		}
+		if ok {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no tamper triangle found")
+	}
+	edge := func(i int) graph.ChannelID {
+		c := chanBetween(net, ring[i], ring[(i+1)%3])
+		if c == graph.NoChannel {
+			t.Fatalf("no channel %d -> %d in a Dragonfly group", ring[i], ring[(i+1)%3])
+		}
+		return c
+	}
+	e01, e12, e20 := edge(0), edge(1), edge(2)
+
+	p.TamperForTest(func(n *graph.Network, res *routing.Result) {
+		// Each destination takes two triangle hops and exits to its
+		// terminal: loop-free walks, cyclic dependencies.
+		set := func(sw, dst graph.NodeID, c graph.ChannelID) {
+			res.Table.Set(sw, dst, c)
+		}
+		set(ring[0], rdst[0], e01) // dst at ring[2]: s0 -> s1 -> s2 -> t
+		set(ring[1], rdst[0], e12)
+		set(ring[1], rdst[1], e12) // dst at ring[0]: s1 -> s2 -> s0 -> t
+		set(ring[2], rdst[1], e20)
+		set(ring[2], rdst[2], e20) // dst at ring[1]: s2 -> s0 -> s1 -> t
+		set(ring[0], rdst[2], e01)
+		set(ring[2], rdst[0], chanBetween(n, ring[2], rdst[0]))
+		set(ring[0], rdst[1], chanBetween(n, ring[0], rdst[1]))
+		set(ring[1], rdst[2], chanBetween(n, ring[1], rdst[2]))
+	})
+
+	rep, err := p.Apply(fabric.Event{Kind: fabric.LinkFail, Link: seamLink})
+	if err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if !rep.SeamCertified {
+		t.Fatal("seam event was not escalated to the coordinator")
+	}
+	if rep.SeamVeto == nil {
+		t.Fatal("cycle-forming tamper was not vetoed")
+	}
+	var ce *oracle.CycleError
+	if !errors.As(rep.SeamVeto, &ce) {
+		t.Fatalf("veto is %T (%v), want a dependency-cycle witness", rep.SeamVeto, rep.SeamVeto)
+	}
+	snap := p.View()
+	if err := oracle.ValidateWitness(snap.Net, ce.Witness); err != nil {
+		t.Fatalf("veto witness does not validate: %v", err)
+	}
+	onTriangle := false
+	for _, d := range ce.Witness {
+		if d.Channel == e01 || d.Channel == e12 || d.Channel == e20 {
+			onTriangle = true
+		}
+	}
+	if !onTriangle {
+		t.Fatalf("witness %v does not touch the injected triangle", ce.Witness)
+	}
+	if !rep.FullRecompute {
+		t.Fatal("veto recovery did not run a full recompute")
+	}
+
+	// The published epoch is the recovery, certified end to end.
+	if _, err := oracle.Certify(snap.Net, snap.Result, oracle.Options{}); err != nil {
+		t.Fatalf("published epoch refuted by the oracle: %v", err)
+	}
+	if _, err := verify.Check(snap.Net, snap.Result, nil); err != nil {
+		t.Fatalf("published epoch invalid: %v", err)
+	}
+	assertCommitted(t, p)
+	if m := p.Metrics(); m.SeamVetoes != 1 {
+		t.Fatalf("SeamVetoes = %d, want 1", m.SeamVetoes)
+	}
+
+	// Clear the tamper: the plane keeps repairing cleanly.
+	p.TamperForTest(nil)
+	gen := newChurnGen(tp, 3)
+	gen.st.Mutate(fabric.Event{Kind: fabric.LinkFail, Link: seamLink})
+	rep2, err := p.Apply(gen.next(t, 0.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.SeamVeto != nil {
+		t.Fatalf("clean repair vetoed: %v", rep2.SeamVeto)
+	}
+	assertCommitted(t, p)
+}
