@@ -380,3 +380,64 @@ func TestBenchGuardTelemetryOverhead(t *testing.T) {
 		t.Fatal("no telemetry on/off pairs recorded")
 	}
 }
+
+// TestBenchGuardWorkload: the pr10 recording (trace-driven workloads +
+// the fluid fast path) guards the new steady-state number and keeps the
+// routing-core anchors honest.
+//
+//  1. Shared keys with BENCH_pr9.json stay within 5% — pr10 re-records
+//     the pr9 anchors (route, decide, cast build) in the same session
+//     as the new benchmark, so the sweep is hardware-controlled in the
+//     direction that matters: the fluid simulator must not have slowed
+//     the routing core it reads from.
+//  2. BenchmarkFlowsimSteady is present and sustains the events/sec
+//     floor: each op processes exactly 2,000,000 flow events (admit +
+//     finish for one million flows), and 2e6 / (ns_per_op/1e9) must
+//     stay above 20,000 events/sec — about 8x below the ~170k/sec
+//     measured on the 1-core recording host, so a loaded CI runner
+//     re-recording the baseline still clears it, but an accidental
+//     O(flows) scan per event (the failure mode quantum coalescing
+//     exists to prevent) does not.
+//  3. Within the recording, one million fluid flows on the 4,096-switch
+//     torus must cost less than 100x a single 512-switch flit-era
+//     routing pass — the order-of-magnitude claim that makes the fast
+//     path a fast path.
+func TestBenchGuardWorkload(t *testing.T) {
+	prev := loadBaseline(t, "BENCH_pr9.json")
+	const path = "BENCH_pr10.json"
+	cur := loadBaseline(t, path)
+	const tolerance = 1.05
+	checked := 0
+	for name, was := range prev {
+		now, ok := cur[name]
+		if !ok {
+			continue // pr10 re-records only the anchor subset
+		}
+		checked++
+		if float64(now) > float64(was)*tolerance {
+			t.Errorf("%s regressed: %d ns/op vs %d ns/op (>%.0f%%)",
+				name, now, was, (tolerance-1)*100)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("baselines share no benchmark names; guard checked nothing")
+	}
+
+	steady := loadBaselineEntry(t, path, "BenchmarkFlowsimSteady")
+	const eventsPerOp = 2_000_000 // admit + finish per flow, pinned by the benchmark itself
+	const floorEventsPerSec = 20_000
+	eps := float64(eventsPerOp) / (float64(steady.NsPerOp) / 1e9)
+	if eps < floorEventsPerSec {
+		t.Errorf("fluid simulator sustains %.0f events/sec, below the %d floor (%d ns/op)",
+			eps, int(floorEventsPerSec), steady.NsPerOp)
+	}
+
+	route := cur["BenchmarkRouteParallel/workers=1"]
+	if route == 0 {
+		t.Fatalf("%s is missing BenchmarkRouteParallel/workers=1", path)
+	}
+	if steady.NsPerOp > route*100 {
+		t.Errorf("1M-flow fluid run (%d ns/op) exceeds 100x a routing pass (%d ns/op)",
+			steady.NsPerOp, route)
+	}
+}

@@ -7,9 +7,12 @@
 //	nuebench -exp fig10 -phases 0      # Table 1 topologies, full all-to-all
 //	nuebench -exp fig11 -maxdim 10     # routing runtime scaling
 //	nuebench -exp table1               # topology configuration table
+//	nuebench -exp churn                # batched + live fabric-churn soak
+//	nuebench -exp ablation             # engine feature ablation grid
 //	nuebench -exp mcast -mcast-groups 8 -mcast-size 6  # cast-tree routing + replication sim
 //	nuebench -exp frontier             # specialist low-VC engines vs Nue + existence verdicts
 //	nuebench -exp large -large-sample 512  # 4k-32k switch tier (flat-core regime)
+//	nuebench -exp workload -wl-flows 20000 # trace-driven workloads on the fluid fast path
 //	nuebench -exp all                  # everything, default scales
 //
 // Default scales are laptop-sized; the flags restore the paper's full
@@ -29,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, mcast, frontier, large, all")
+		exp      = flag.String("exp", "all", "experiment: fig1, fig9, fig10, fig11, table1, churn, ablation, mcast, frontier, large, workload, all")
 		trials   = flag.Int("trials", 5, "fig9: number of random topologies (paper: 1000)")
 		phases   = flag.Int("phases", 16, "fig10: all-to-all shift phases (0 = full, the paper's workload)")
 		maxDim   = flag.Int("maxdim", 6, "fig11: largest torus dimension (paper: 10)")
@@ -40,6 +43,8 @@ func main() {
 		mcGroups = flag.Int("mcast-groups", 8, "mcast: number of seeded random multicast groups")
 		mcSize   = flag.Int("mcast-size", 6, "mcast: members per multicast group")
 		lgSample = flag.Int("large-sample", 512, "large: max sampled destinations per class (0 = every switch)")
+		wlFlows  = flag.Int("wl-flows", 20_000, "workload: flows per (topology, workload) cell")
+		wlGap    = flag.Float64("wl-gap", 4, "workload: Poisson mean inter-arrival gap in ticks (0 = closed batch)")
 		telem    = flag.Bool("telemetry", false, "instrument the runs (currently fig1) and append a JSON metrics dump")
 		out      = flag.String("o", "", "write output to file instead of stdout")
 	)
@@ -143,6 +148,17 @@ func main() {
 				cfg.MaxVCs = *maxVCs
 			}
 			experiments.WriteLarge(w, cfg)
+		case "workload":
+			cfg := experiments.DefaultWorkloadConfig()
+			cfg.Flows = *wlFlows
+			cfg.MeanGap = *wlGap
+			cfg.Seed = *seed
+			cfg.Workers = *workers
+			cfg.Telemetry = reg
+			if *maxVCs > 0 {
+				cfg.MaxVCs = *maxVCs
+			}
+			experiments.WriteWorkload(w, cfg)
 		case "fig11":
 			cfg := experiments.DefaultFig11Config()
 			cfg.MaxDim = *maxDim

@@ -1,0 +1,69 @@
+package flowsim_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/flowsim"
+	"repro/internal/topology"
+	"repro/internal/workload"
+)
+
+// TestMillionFlowTorus is the ISSUE 10 acceptance run: one million
+// concurrent flows (a closed batch — every flow active from tick 0) on
+// a 4,096-switch 16x16x16 torus, simulated by the fluid fast path in a
+// single run with bounded memory and no flit-sim fallback, bit-identical
+// across worker counts 1, 2 and 8.
+//
+// Gated behind NUE_WORKLOAD_1M=1 (the NUE_LARGE pattern): the run takes
+// minutes of CPU. The equivalent CLI invocation is
+//
+//	nueload -topo torus -dims 16x16x16 -terminals 1 -engine torus2qos \
+//	        -pattern uniform -flows 1000000 -bytes 4096 -mean-gap 0 -quantum 262144
+func TestMillionFlowTorus(t *testing.T) {
+	if os.Getenv("NUE_WORKLOAD_1M") == "" {
+		t.Skip("set NUE_WORKLOAD_1M=1 to run the 1M-flow acceptance tier")
+	}
+	tp := topology.Torus3D(16, 16, 16, 1, 1)
+	if tp.Net.NumSwitches() != 4096 {
+		t.Fatalf("fixture has %d switches, want 4096", tp.Net.NumSwitches())
+	}
+	eng, err := experiments.EngineByNameWorkers("torus2qos", tp, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	res, err := eng.Route(tp.Net, tp.Net.Terminals(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("routed 4096-switch torus in %s", time.Since(start).Round(time.Millisecond))
+
+	const nFlows = 1_000_000
+	flows := workload.Generate(tp.Net.Terminals(),
+		workload.Single(workload.Uniform{}, 4096), nFlows, workload.Closed{}, 1)
+
+	var base flowsim.Result
+	for i, w := range []int{1, 2, 8} {
+		start := time.Now()
+		r, err := flowsim.Run(tp.Net, res, flows, flowsim.Config{Workers: w, Quantum: 1 << 18})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("workers=%d: %s, %d events, %d recomputes, makespan %.0f",
+			w, time.Since(start).Round(time.Millisecond), r.Events, r.Recomputes, r.Makespan)
+		if r.FlowsFinished != nFlows {
+			t.Fatalf("workers=%d: finished %d of %d (skipped %d)", w, r.FlowsFinished, nFlows, r.FlowsSkipped)
+		}
+		if i == 0 {
+			base = r
+			continue
+		}
+		if !reflect.DeepEqual(base, r) {
+			t.Fatalf("workers=%d result differs from workers=1", w)
+		}
+	}
+}

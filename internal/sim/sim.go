@@ -120,6 +120,10 @@ type Result struct {
 	// whenever the event queue drains and decides Deadlocked from the
 	// undelivered traffic it finds.
 	DeadlockSweeps int64
+	// LinkBusy[c] is the number of cycles channel c spent transmitting:
+	// the per-link load profile (the flow-level cross-validation ranks
+	// links by it against the fluid model's LinkBytes).
+	LinkBusy []int64
 }
 
 // ThroughputGBs converts flit throughput to an aggregate GB/s figure
@@ -400,6 +404,7 @@ func (s *sim) result(deadlocked, timedOut bool) Result {
 		StallCycles:       s.stallCycles,
 		CreditStalls:      s.creditStalls,
 		DeadlockSweeps:    s.sweeps,
+		LinkBusy:          append([]int64(nil), s.busyCycles...),
 	}
 	s.reportTelemetry(&r)
 	if s.now > 0 {

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// TestZeroProgressRunHasNoNaN pins the zero-progress guards in
+// result(): a run that ends at cycle 0 — an empty message list is the
+// degenerate case — must report zeroed derived metrics, never 0/0 NaN
+// in FlitsPerCycle, the link utilizations, or the latency averages.
+func TestZeroProgressRunHasNoNaN(t *testing.T) {
+	tp := topology.Ring(4, 1)
+	res, err := core.New(core.DefaultOptions()).Route(tp.Net, tp.Net.Terminals(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(tp.Net, res, nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range map[string]float64{
+		"FlitsPerCycle":      r.FlitsPerCycle,
+		"AvgMsgLatency":      r.AvgMsgLatency,
+		"MaxMsgLatency":      r.MaxMsgLatency,
+		"AvgLinkUtilization": r.AvgLinkUtilization,
+		"MaxLinkUtilization": r.MaxLinkUtilization,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v on a zero-progress run", name, v)
+		}
+		if v != 0 {
+			t.Errorf("%s = %v, want 0 (nothing moved)", name, v)
+		}
+	}
+	if r.Deadlocked || r.TimedOut {
+		t.Fatalf("empty run misclassified: %+v", r)
+	}
+	if r.Cycles != 0 || r.DeliveredFlits != 0 {
+		t.Fatalf("empty run made progress: %+v", r)
+	}
+	// The per-link busy profile is exposed (for flowsim
+	// cross-validation) and all-zero here.
+	if len(r.LinkBusy) != tp.Net.NumChannels() {
+		t.Fatalf("LinkBusy has %d entries, want %d", len(r.LinkBusy), tp.Net.NumChannels())
+	}
+	for c, b := range r.LinkBusy {
+		if b != 0 {
+			t.Fatalf("channel %d busy %d cycles on an empty run", c, b)
+		}
+	}
+}

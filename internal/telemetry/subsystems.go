@@ -306,6 +306,54 @@ func (m *SimMetrics) QueueHWMFor(vl int) *Gauge {
 	return m.QueueHWM[vl]
 }
 
+// WorkloadMetrics instruments the trace-driven workload layer
+// (internal/workload generators and traces, the internal/flowsim fluid
+// simulator, and cmd/nueload).
+type WorkloadMetrics struct {
+	// Runs counts fluid-simulation runs; Timeouts runs cut by MaxTicks.
+	Runs, Timeouts *Counter
+	// FlowsGenerated counts flows emitted by workload generators;
+	// FlowsFinished flows the fluid simulator completed; FlowsSkipped
+	// flows dropped before simulation (self-loops, disconnected
+	// endpoints).
+	FlowsGenerated, FlowsFinished, FlowsSkipped *Counter
+	// FlowsActive is the high-water mark of concurrently active flows
+	// across recomputes.
+	FlowsActive *Gauge
+	// EventsProcessed counts arrivals + finishes; RateRecomputes the
+	// progressive-filling max-min recomputations (event rate =
+	// EventsProcessed / RunNanos).
+	EventsProcessed, RateRecomputes *Counter
+	// RunNanos accumulates fluid-simulation wall time.
+	RunNanos *Counter
+	// TraceBytesWritten and TraceBytesRead aggregate binary-trace I/O.
+	TraceBytesWritten, TraceBytesRead *Counter
+	// Events receives one "flowsim_run" entry per run.
+	Events *Ring
+}
+
+// Workload returns the workload bundle registered under workload_*
+// names (nil, all-no-op, on a nil registry).
+func (r *Registry) Workload() *WorkloadMetrics {
+	if r == nil {
+		return nil
+	}
+	return &WorkloadMetrics{
+		Runs:              r.Counter("workload_runs_total"),
+		Timeouts:          r.Counter("workload_timeouts_total"),
+		FlowsGenerated:    r.Counter("workload_flows_generated_total"),
+		FlowsFinished:     r.Counter("workload_flows_finished_total"),
+		FlowsSkipped:      r.Counter("workload_flows_skipped_total"),
+		FlowsActive:       r.Gauge("workload_flows_active_hwm"),
+		EventsProcessed:   r.Counter("workload_events_processed_total"),
+		RateRecomputes:    r.Counter("workload_rate_recomputes_total"),
+		RunNanos:          r.Counter("workload_run_nanos_total"),
+		TraceBytesWritten: r.Counter("workload_trace_bytes_written_total"),
+		TraceBytesRead:    r.Counter("workload_trace_bytes_read_total"),
+		Events:            r.Ring(),
+	}
+}
+
 // ShardMetrics instruments the sharded, replicated control plane
 // (internal/shard): region-local vs escalated repair scheduling, seam
 // certification, leadership churn and replicated-log outcomes.

@@ -1,0 +1,359 @@
+// Package workload generates trace-driven traffic for the flow-level
+// and flit-level simulators: composable patterns (hotspot with
+// configurable Zipf skew, k-to-1 incast, random and adversarial shift
+// permutations), multi-tenant mixes that weight and interleave
+// sub-patterns, and a seeded open-loop Poisson arrival process. Every
+// generator emits the common Flow stream, is a pure function of its
+// seed (same seed, same flows — the determinism tests pin it), and can
+// be recorded to and replayed from a compact binary trace
+// bit-identically (trace.go).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Flow is one transfer between terminals: the unit every generator
+// emits, the trace format stores, and the flow-level simulator
+// (internal/flowsim) schedules.
+type Flow struct {
+	Src, Dst graph.NodeID
+	// Bytes is the transfer size.
+	Bytes int64
+	// Start is the arrival tick (the open-loop injection time; the
+	// fluid simulator's clock starts at 0).
+	Start int64
+	// Tenant indexes the Mix tenant the flow belongs to (0 for
+	// single-tenant workloads); per-tenant throughput and latency
+	// percentiles aggregate over it.
+	Tenant uint16
+}
+
+// PairStream produces the (src, dst) terminal-index sequence of one
+// pattern. Streams are deterministic: they draw only from the seeded
+// rng they were built with.
+type PairStream interface {
+	// Next returns terminal indices src != dst in [0, terms).
+	Next() (src, dst int)
+}
+
+// Pattern is a composable traffic pattern: a named factory for pair
+// streams over a terminal set of the given size.
+type Pattern interface {
+	Name() string
+	Stream(terms int, rng *rand.Rand) PairStream
+}
+
+// Uniform spreads traffic uniformly at random over all ordered
+// terminal pairs.
+type Uniform struct{}
+
+func (Uniform) Name() string { return "uniform" }
+
+func (Uniform) Stream(terms int, rng *rand.Rand) PairStream {
+	return &uniformStream{terms: terms, rng: rng}
+}
+
+type uniformStream struct {
+	terms int
+	rng   *rand.Rand
+}
+
+func (s *uniformStream) Next() (int, int) {
+	src := s.rng.Intn(s.terms)
+	dst := s.rng.Intn(s.terms - 1)
+	if dst >= src {
+		dst++
+	}
+	return src, dst
+}
+
+// Hotspot skews destinations toward a few hot terminals with a Zipf
+// distribution: rank r (over a seeded shuffle of the terminals, so the
+// hot set is topology-independent) is drawn with probability
+// proportional to 1/(r+1)^Skew. Skew = 0 degenerates to uniform; the
+// adversarial regime is Skew in [1, 2].
+type Hotspot struct {
+	// Skew is the Zipf exponent (>= 0; values >= 1 concentrate most
+	// traffic on the first few ranks).
+	Skew float64
+}
+
+func (h Hotspot) Name() string { return fmt.Sprintf("hotspot(s=%.2f)", h.Skew) }
+
+func (h Hotspot) Stream(terms int, rng *rand.Rand) PairStream {
+	s := h.Skew
+	if s < 0 {
+		s = 0
+	}
+	perm := rng.Perm(terms)
+	// rand.Zipf requires s > 1; emulate lower exponents with a rank
+	// CDF built once (terms is small compared to the flow count).
+	cdf := make([]float64, terms)
+	total := 0.0
+	for r := 0; r < terms; r++ {
+		total += 1.0 / math.Pow(float64(r+1), s)
+		cdf[r] = total
+	}
+	for r := range cdf {
+		cdf[r] /= total
+	}
+	return &hotspotStream{perm: perm, cdf: cdf, rng: rng}
+}
+
+type hotspotStream struct {
+	perm []int
+	cdf  []float64
+	rng  *rand.Rand
+}
+
+func (s *hotspotStream) Next() (int, int) {
+	// Binary-search the rank CDF, then map rank -> terminal through the
+	// shuffle.
+	u := s.rng.Float64()
+	lo, hi := 0, len(s.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	dst := s.perm[lo]
+	src := s.rng.Intn(len(s.perm) - 1)
+	if src >= dst {
+		src++
+	}
+	return src, dst
+}
+
+// Incast is the k-to-1 pattern: groups of Fanin consecutive flows
+// converge on one victim terminal, then the next group picks a new
+// victim. The classic storage/parameter-server storm.
+type Incast struct {
+	// Fanin is the number of concurrent senders per victim (default 8).
+	Fanin int
+}
+
+func (i Incast) Name() string { return fmt.Sprintf("incast(k=%d)", i.fanin()) }
+
+func (i Incast) fanin() int {
+	if i.Fanin <= 0 {
+		return 8
+	}
+	return i.Fanin
+}
+
+func (i Incast) Stream(terms int, rng *rand.Rand) PairStream {
+	return &incastStream{terms: terms, fanin: i.fanin(), rng: rng}
+}
+
+type incastStream struct {
+	terms, fanin int
+	rng          *rand.Rand
+	victim       int
+	left         int
+}
+
+func (s *incastStream) Next() (int, int) {
+	if s.left == 0 {
+		s.victim = s.rng.Intn(s.terms)
+		s.left = s.fanin
+	}
+	s.left--
+	src := s.rng.Intn(s.terms - 1)
+	if src >= s.victim {
+		src++
+	}
+	return src, s.victim
+}
+
+// Permutation sends every terminal's traffic to a fixed partner chosen
+// by a seeded fixed-point-free random permutation; senders cycle
+// round-robin so all partners stay loaded.
+type Permutation struct{}
+
+func (Permutation) Name() string { return "permutation" }
+
+func (Permutation) Stream(terms int, rng *rand.Rand) PairStream {
+	pi := rng.Perm(terms)
+	// Derange: a fixed point would make a flow route to itself. Swap it
+	// with its successor (deterministic, keeps the permutation a
+	// bijection).
+	for i := 0; i < terms; i++ {
+		if pi[i] == i {
+			j := (i + 1) % terms
+			pi[i], pi[j] = pi[j], pi[i]
+		}
+	}
+	return &permStream{pi: pi}
+}
+
+type permStream struct {
+	pi  []int
+	cur int
+}
+
+func (s *permStream) Next() (int, int) {
+	src := s.cur
+	s.cur = (s.cur + 1) % len(s.pi)
+	return src, s.pi[src]
+}
+
+// Shift is the adversarial structured permutation: terminal i sends to
+// (i + Offset) mod terms. Offset 0 defaults to terms/2 — the
+// bisection-crossing worst case for most direct topologies.
+type Shift struct {
+	Offset int
+}
+
+func (sh Shift) Name() string {
+	if sh.Offset <= 0 {
+		return "shift(T/2)"
+	}
+	return fmt.Sprintf("shift(%d)", sh.Offset)
+}
+
+func (sh Shift) Stream(terms int, _ *rand.Rand) PairStream {
+	off := sh.Offset
+	if off <= 0 {
+		off = terms / 2
+	}
+	off %= terms
+	if off == 0 {
+		off = 1
+	}
+	return &shiftStream{terms: terms, off: off}
+}
+
+type shiftStream struct {
+	terms, off, cur int
+}
+
+func (s *shiftStream) Next() (int, int) {
+	src := s.cur
+	s.cur = (s.cur + 1) % s.terms
+	return src, (src + s.off) % s.terms
+}
+
+// TenantSpec is one tenant of a multi-tenant mix: a named sub-pattern
+// with an interleave weight and a per-flow transfer size.
+type TenantSpec struct {
+	Name    string
+	Weight  int
+	Pattern Pattern
+	Bytes   int64
+}
+
+// Mix weights and interleaves sub-patterns: each generated flow is
+// drawn from tenant t with probability Weight_t / sum(Weights), from
+// t's own deterministic pattern stream.
+type Mix struct {
+	Tenants []TenantSpec
+}
+
+// Single wraps one pattern as a single-tenant mix.
+func Single(p Pattern, bytes int64) Mix {
+	return Mix{Tenants: []TenantSpec{{Name: p.Name(), Weight: 1, Pattern: p, Bytes: bytes}}}
+}
+
+// Arrival is the open-loop arrival process: the tick gap between
+// consecutive flow starts.
+type Arrival interface {
+	Name() string
+	NextGap(rng *rand.Rand) int64
+}
+
+// Poisson arrivals with the given mean inter-arrival gap in ticks
+// (exponential gaps, rounded to the integer tick grid so traces store
+// exact times).
+type Poisson struct {
+	MeanGap float64
+}
+
+func (p Poisson) Name() string { return fmt.Sprintf("poisson(mean=%.1f)", p.MeanGap) }
+
+func (p Poisson) NextGap(rng *rand.Rand) int64 {
+	if p.MeanGap <= 0 {
+		return 0
+	}
+	g := rng.ExpFloat64() * p.MeanGap
+	return int64(g + 0.5)
+}
+
+// Closed starts every flow at tick 0 (a closed batch: the steady-state
+// saturation workload).
+type Closed struct{}
+
+func (Closed) Name() string               { return "closed" }
+func (Closed) NextGap(_ *rand.Rand) int64 { return 0 }
+
+// Generate emits n flows of the mix over the terminal set, with starts
+// from the arrival process. It is a pure function of (terminals, mix,
+// n, arrival, seed): same inputs, bit-identical flows. Sub-streams are
+// seeded independently, so adding a tenant does not perturb the others'
+// pair sequences.
+func Generate(terminals []graph.NodeID, mix Mix, n int, arrival Arrival, seed int64) []Flow {
+	if len(terminals) < 2 || n <= 0 || len(mix.Tenants) == 0 {
+		return nil
+	}
+	pick := rand.New(rand.NewSource(seed*1_000_003 + 1))
+	arr := rand.New(rand.NewSource(seed*1_000_003 + 2))
+	streams := make([]PairStream, len(mix.Tenants))
+	totalW := 0
+	for i, t := range mix.Tenants {
+		streams[i] = t.Pattern.Stream(len(terminals), rand.New(rand.NewSource(seed*1_000_003+3+int64(i))))
+		w := t.Weight
+		if w <= 0 {
+			w = 1
+		}
+		totalW += w
+	}
+	flows := make([]Flow, 0, n)
+	now := int64(0)
+	for i := 0; i < n; i++ {
+		// Weighted tenant draw.
+		r := pick.Intn(totalW)
+		ti := 0
+		for j, t := range mix.Tenants {
+			w := t.Weight
+			if w <= 0 {
+				w = 1
+			}
+			if r < w {
+				ti = j
+				break
+			}
+			r -= w
+		}
+		src, dst := streams[ti].Next()
+		bytes := mix.Tenants[ti].Bytes
+		if bytes <= 0 {
+			bytes = 64 * 1024
+		}
+		flows = append(flows, Flow{
+			Src:    terminals[src],
+			Dst:    terminals[dst],
+			Bytes:  bytes,
+			Start:  now,
+			Tenant: uint16(ti),
+		})
+		now += arrival.NextGap(arr)
+	}
+	return flows
+}
+
+// TenantNames extracts the mix's tenant names, indexed like
+// Flow.Tenant (for report labeling).
+func (m Mix) TenantNames() []string {
+	names := make([]string, len(m.Tenants))
+	for i, t := range m.Tenants {
+		names[i] = t.Name
+	}
+	return names
+}
